@@ -1,0 +1,438 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper, measuring the figure's key quantity at reduced
+// workload sizes. cmd/experiments regenerates the full tables; these
+// benches make the performance-sensitive kernels visible to `go test
+// -bench` and CI regression tracking.
+package repro
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+	"repro/internal/estimators"
+	"repro/internal/harness"
+	"repro/internal/macrobase"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+func milanData(n int) []float64 { return dataset.Milan().Generate(n, 99) }
+
+// BenchmarkTable1Stats measures dataset characterization (Table 1).
+func BenchmarkTable1Stats(b *testing.B) {
+	data := milanData(100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = dataset.Describe(data)
+	}
+}
+
+// BenchmarkTable2Accuracy measures the eps_avg evaluation used by the
+// Table 2 parameter search (M-Sketch k=10 on milan).
+func BenchmarkTable2Accuracy(b *testing.B) {
+	data := milanData(50_000)
+	sorted := harness.SortedCopy(data)
+	s := sketch.NewMSketch(10)
+	for _, v := range data {
+		s.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = harness.EpsAvg(sorted, s.Quantile, false)
+	}
+}
+
+// BenchmarkFig3Query measures a full aggregation query: merge 10k cells
+// then estimate p99 (Fig. 3's M-Sketch bar).
+func BenchmarkFig3Query(b *testing.B) {
+	factory := func() sketch.Summary { return sketch.NewMSketch(10) }
+	cells := harness.BuildCells(milanData(10_000*50), 50, factory)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, _, err := harness.MergeAll(cells, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = root.Quantile(0.99)
+	}
+}
+
+// BenchmarkFig4Merge measures per-merge latency for every family (Fig. 4).
+func BenchmarkFig4Merge(b *testing.B) {
+	data := milanData(400)
+	for _, fam := range sketch.Families(nil) {
+		a, c := fam.New(), fam.New()
+		for i, v := range data {
+			if i%2 == 0 {
+				a.Add(v)
+			} else {
+				c.Add(v)
+			}
+		}
+		b.Run(fam.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := a.Merge(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Estimate measures quantile estimation per family (Fig. 5).
+func BenchmarkFig5Estimate(b *testing.B) {
+	data := milanData(100_000)
+	for _, fam := range sketch.Families(nil) {
+		s := fam.New()
+		for _, v := range data {
+			s.Add(v)
+		}
+		b.Run(fam.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh copy defeats the moments sketch solution cache so
+				// the solve cost is measured.
+				fresh := fam.New()
+				if err := fresh.Merge(s); err != nil {
+					b.Fatal(err)
+				}
+				_ = fresh.Quantile(0.99)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6MergeScaling measures the merge-dominated regime: 10^4 cell
+// merges per op (Fig. 6's crossover region).
+func BenchmarkFig6MergeScaling(b *testing.B) {
+	factory := func() sketch.Summary { return sketch.NewMSketch(10) }
+	cells := harness.BuildCells(milanData(10_000*20), 20, factory)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.MergeAll(cells, factory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Solve measures maxent estimation on each Table-1 dataset
+// shape (Fig. 7's M-Sketch series).
+func BenchmarkFig7Solve(b *testing.B) {
+	for _, spec := range dataset.Table1() {
+		sk := core.New(10)
+		sk.AddMany(spec.Generate(100_000, 3))
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := maxent.SolveSketch(sk, maxent.Options{})
+				if err != nil {
+					b.Skip("solver declined:", err)
+				}
+				_ = sol.Quantile(0.99)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Discrete measures solving on a 32-value discrete dataset
+// (Fig. 8's hard regime).
+func BenchmarkFig8Discrete(b *testing.B) {
+	sk := core.New(10)
+	sk.AddMany(dataset.UniformDiscrete(32).Generate(50_000, 5))
+	for i := 0; i < b.N; i++ {
+		if sol, err := maxent.SolveSketch(sk, maxent.Options{}); err == nil {
+			_ = sol.Quantile(0.5)
+		}
+	}
+}
+
+// BenchmarkFig9LogMoments measures the with-log-moments solve on milan
+// (Fig. 9's winning configuration).
+func BenchmarkFig9LogMoments(b *testing.B) {
+	sk := core.New(10)
+	sk.AddMany(milanData(100_000))
+	for i := 0; i < b.N; i++ {
+		sol, err := maxent.SolveSketch(sk, maxent.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sol.Quantile(0.99)
+	}
+}
+
+// BenchmarkFig10Lesion measures Prepare time for every lesion estimator
+// (Fig. 10's t_est axis).
+func BenchmarkFig10Lesion(b *testing.B) {
+	sk := core.New(10)
+	sk.AddMany(milanData(100_000))
+	in, err := estimators.NewInput(sk, true, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, est := range estimators.All() {
+		b.Run(est.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := est.Prepare(in); err != nil {
+					b.Fatal(err)
+				}
+				_ = est.Quantile(0.5)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Druid measures a full-cube roll-up query (Fig. 11).
+func BenchmarkFig11Druid(b *testing.B) {
+	c, err := cube.New(cube.Schema{Dims: []string{"grid", "country"}, Card: []int{200, 20}},
+		func() sketch.Summary { return sketch.NewMSketch(10) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, v := range milanData(200_000) {
+		c.Ingest([]int{rng.IntN(200), rng.IntN(20)}, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, _, err := c.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = root.Quantile(0.99)
+	}
+}
+
+// BenchmarkFig12MacroBase measures the full MacroBase query with cascade
+// (Fig. 12's +RTT bar).
+func BenchmarkFig12MacroBase(b *testing.B) {
+	eng := benchEngine(b, 100, 4, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(macrobase.ModeCascade, macrobase.Options{Cascade: cascade.Full()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngine(b *testing.B, groups, cellsPer, cellSize int) *macrobase.Engine {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(5, 5))
+	spec := dataset.Milan()
+	eng := &macrobase.Engine{Factory: func() sketch.Summary { return sketch.NewMSketch(10) }}
+	for g := 0; g < groups; g++ {
+		var cells []sketch.Summary
+		for c := 0; c < cellsPer; c++ {
+			cell := eng.Factory()
+			for i := 0; i < cellSize; i++ {
+				v := spec.Gen(rng)
+				if g == 0 && rng.Float64() < 0.5 {
+					v = 9000
+				}
+				cell.Add(v)
+			}
+			cells = append(cells, cell)
+		}
+		eng.Groups = append(eng.Groups, macrobase.Group{Name: string(rune(g)), Cells: cells})
+	}
+	return eng
+}
+
+// BenchmarkFig13Cascade measures threshold-query throughput through the
+// full cascade (Fig. 13a's +RTT point).
+func BenchmarkFig13Cascade(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	spec := dataset.Milan()
+	groups := make([]*core.Sketch, 200)
+	for g := range groups {
+		groups[g] = core.New(10)
+		for i := 0; i < 500; i++ {
+			groups[g].Add(spec.Gen(rng))
+		}
+	}
+	cfg := cascade.Full()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := groups[i%len(groups)]
+		// Solver failures fall back to bound decisions; not a bench error.
+		_, _ = cascade.Threshold(g, 800, 0.7, cfg, nil)
+	}
+}
+
+// BenchmarkFig14Window measures a full turnstile window scan (Fig. 14's
+// +RTT bar).
+func BenchmarkFig14Window(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	spec := dataset.Milan()
+	panes := make([]*core.Sketch, 200)
+	for p := range panes {
+		panes[p] = core.New(10)
+		for i := 0; i < 200; i++ {
+			panes[p].Add(spec.Gen(rng))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := window.ScanMoments(panes, 24, 1500, 0.99, cascade.Full(), maxent.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15Standardize measures the shift/scale moment conversion the
+// stability analysis bounds (Fig. 15/16).
+func BenchmarkFig15Standardize(b *testing.B) {
+	sk := core.New(core.MaxK)
+	sk.AddMany(dataset.Occupancy().Generate(20_000, 3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Standardize(core.MaxK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16PrecisionLoss measures exact-vs-sketch Chebyshev moment
+// comparison (Fig. 16's inner loop).
+func BenchmarkFig16PrecisionLoss(b *testing.B) {
+	data := dataset.Occupancy().Generate(20_000, 3)
+	sk := core.New(20)
+	sk.AddMany(data)
+	st, err := sk.Standardize(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.ExactStandardized(data, st.Center, st.HalfWidth, 20, false)
+	}
+}
+
+// BenchmarkFig17LowPrecision measures the reduced-precision codec
+// round trip (Fig. 17).
+func BenchmarkFig17LowPrecision(b *testing.B) {
+	sk := core.New(10)
+	sk.AddMany(milanData(10_000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data := encoding.MarshalLowPrecision(sk, 8)
+		if _, err := encoding.UnmarshalLowPrecision(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig18Gamma measures solving on the skewed Gamma(0.1) shape
+// (Fig. 18's hardest case).
+func BenchmarkFig18Gamma(b *testing.B) {
+	sk := core.New(10)
+	sk.AddMany(dataset.Gamma(0.1).Generate(100_000, 7))
+	for i := 0; i < b.N; i++ {
+		sol, err := maxent.SolveSketch(sk, maxent.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sol.Quantile(0.5)
+	}
+}
+
+// BenchmarkFig19Outliers measures estimation with extreme outliers present
+// (Fig. 19) through the public path, which falls back to guaranteed bounds
+// when the near-two-point-mass standardized data defeats the solver.
+func BenchmarkFig19Outliers(b *testing.B) {
+	s := sketch.NewMSketch(10)
+	for _, v := range dataset.GaussianWithOutliers(1000, 0.01).Generate(100_000, 9) {
+		s.Add(v)
+	}
+	for i := 0; i < b.N; i++ {
+		// Defeat the public wrapper's solution cache so the estimation
+		// cost is measured each iteration.
+		fresh := sketch.NewMSketch(10)
+		if err := fresh.Merge(s); err != nil {
+			b.Fatal(err)
+		}
+		_ = fresh.Quantile(0.5)
+	}
+}
+
+// BenchmarkFig20LargeCellMerge measures merges of summaries built over
+// 2000-value cells (Fig. 20).
+func BenchmarkFig20LargeCellMerge(b *testing.B) {
+	factory := func() sketch.Summary { return sketch.NewMSketch(10) }
+	cells := harness.BuildCells(milanData(500*2000), 2000, factory)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.MergeAll(cells, factory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig22Production measures merging heterogeneous production-style
+// cells (Fig. 21-22).
+func BenchmarkFig22Production(b *testing.B) {
+	prod := dataset.Production{NumCells: 2000, MeanCellSize: 100, Seed: 11}
+	sizes := prod.CellSizes()
+	gen := prod.Values()
+	factory := func() sketch.Summary { return sketch.NewMSketch(10) }
+	cells := make([]sketch.Summary, len(sizes))
+	for i, n := range sizes {
+		cells[i] = factory()
+		for j := 0; j < n; j++ {
+			cells[i].Add(gen())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.MergeAll(cells, factory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig23Bounds measures guaranteed error-bound computation
+// (Fig. 23: one RTT interval per quantile).
+func BenchmarkFig23Bounds(b *testing.B) {
+	sk := core.New(10)
+	sk.AddMany(milanData(100_000))
+	t := sk.Mean() * 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv := bounds.RTT(sk, t)
+		_ = bounds.QuantileErrorBound(iv, 0.9)
+	}
+}
+
+// BenchmarkFig24ParallelMerge measures sharded parallel merging at
+// GOMAXPROCS workers (Fig. 24-25).
+func BenchmarkFig24ParallelMerge(b *testing.B) {
+	factory := func() sketch.Summary { return sketch.NewMSketch(10) }
+	cells := harness.BuildCells(milanData(50_000*20), 20, factory)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := factory()
+		done := make(chan sketch.Summary, 8)
+		chunk := len(cells) / 8
+		for w := 0; w < 8; w++ {
+			go func(lo int) {
+				r := factory()
+				hi := lo + chunk
+				if hi > len(cells) {
+					hi = len(cells)
+				}
+				for _, c := range cells[lo:hi] {
+					r.Merge(c)
+				}
+				done <- r
+			}(w * chunk)
+		}
+		for w := 0; w < 8; w++ {
+			root.Merge(<-done)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments list                 # show available experiment IDs
+//	experiments fig7 [fig10 ...]     # run selected experiments
+//	experiments all                  # run everything
+//
+// Flags:
+//
+//	-scale F   multiply workload sizes (default 1.0; raise toward
+//	           paper-scale fidelity, lower for faster runs)
+//	-quick     smoke-test sizes (seconds instead of minutes)
+//	-seed N    generator seed (default 17)
+//	-out DIR   also write each experiment's output to DIR/<id>.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	quick := flag.Bool("quick", false, "smoke-test sizes")
+	seed := flag.Uint64("seed", 17, "generator seed")
+	outDir := flag.String("out", "", "directory for per-experiment output files")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := harness.Config{Scale: *scale, Quick: *quick, Seed: *seed}
+
+	if args[0] == "list" {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []harness.Experiment
+	if args[0] == "all" {
+		exps = harness.All()
+	} else {
+		for _, id := range args {
+			e, err := harness.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, e := range exps {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		start := time.Now()
+		if err := e.Run(cfg, w); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed++
+		}
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if f != nil {
+			f.Close()
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments [flags] <list|all|id...>
+
+Regenerates the evaluation tables and figures of "Moment-Based Quantile
+Sketches for Efficient High Cardinality Aggregation Queries" (VLDB 2018).
+Run 'experiments list' to see available IDs.`)
+	flag.PrintDefaults()
+}

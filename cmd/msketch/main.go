@@ -1,0 +1,191 @@
+// Command msketch builds, merges and queries moments sketches from the
+// command line. Values are read one per line (plain text floats); sketches
+// are stored in the library's binary format.
+//
+// Usage:
+//
+//	msketch build -k 10 -o day1.msk  < day1.txt
+//	msketch build -k 10 -o day2.msk  < day2.txt
+//	msketch merge -o week.msk day1.msk day2.msk
+//	msketch query -q 0.5,0.99 week.msk
+//	msketch info  week.msk
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/moments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msketch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: msketch <build|merge|query|info> [flags]
+
+  build -k K -o OUT [-bits N]   build a sketch from stdin values (one per line)
+  merge -o OUT FILE...          merge sketch files
+  query -q PHI[,PHI...] FILE    estimate quantiles
+  info FILE                     print sketch statistics`)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	k := fs.Int("k", moments.DefaultK, "sketch order")
+	out := fs.String("o", "", "output file (required)")
+	bits := fs.Int("bits", 0, "mantissa bits for low-precision output (0 = full)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("build: -o is required")
+	}
+	s := moments.New(moments.WithK(*k))
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("build: line %d: %v", line, err)
+		}
+		s.Add(v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	var data []byte
+	var err error
+	if *bits > 0 {
+		data, err = s.MarshalLowPrecision(*bits)
+	} else {
+		data, err = s.MarshalBinary()
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("built sketch: %v values, %d bytes -> %s\n", s.Count(), len(data), *out)
+	return nil
+}
+
+func load(path string) (*moments.Sketch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s moments.Sketch
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	files := fs.Args()
+	if *out == "" || len(files) == 0 {
+		return fmt.Errorf("merge: need -o and at least one input file")
+	}
+	root, err := load(files[0])
+	if err != nil {
+		return err
+	}
+	for _, f := range files[1:] {
+		s, err := load(f)
+		if err != nil {
+			return err
+		}
+		if err := root.Merge(s); err != nil {
+			return fmt.Errorf("merging %s: %v", f, err)
+		}
+	}
+	data, err := root.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d sketches: %v values -> %s\n", len(files), root.Count(), *out)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	qs := fs.String("q", "0.5", "comma-separated quantile fractions")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: need exactly one sketch file")
+	}
+	s, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, part := range strings.Split(*qs, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("query: bad quantile %q", part)
+		}
+		q, err := s.Quantile(phi)
+		if err != nil {
+			return fmt.Errorf("estimating p%g: %v", phi*100, err)
+		}
+		lo, hi := s.RankBounds(q)
+		fmt.Printf("p%-6g %-14g (rank bounds [%.4f, %.4f])\n", phi*100, q, lo, hi)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: need exactly one sketch file")
+	}
+	s, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("order k:   %d\n", s.K())
+	fmt.Printf("count:     %v\n", s.Count())
+	fmt.Printf("min/max:   %g / %g\n", s.Min(), s.Max())
+	fmt.Printf("mean:      %g\n", s.Mean())
+	fmt.Printf("stddev:    %g\n", s.StdDev())
+	fmt.Printf("size:      %d bytes\n", s.SizeBytes())
+	return nil
+}

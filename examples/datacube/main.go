@@ -1,0 +1,98 @@
+// Datacube: the paper's headline scenario (Fig. 1). Telemetry from many
+// (country, version, OS) combinations is pre-aggregated into one moments
+// sketch per cell; roll-up queries merge only the relevant cells — hundreds
+// of thousands of merges — instead of touching raw data.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/moments"
+)
+
+const (
+	nCountries = 40
+	nVersions  = 25
+	nOS        = 10
+)
+
+type cellKey struct{ country, version, os int }
+
+func main() {
+	rng := rand.New(rand.NewPCG(7, 11))
+
+	// Ingest: 2M telemetry readings spread across up to 10k cells.
+	cube := map[cellKey]*moments.Sketch{}
+	start := time.Now()
+	for i := 0; i < 2_000_000; i++ {
+		key := cellKey{rng.IntN(nCountries), rng.IntN(nVersions), rng.IntN(nOS)}
+		cell, ok := cube[key]
+		if !ok {
+			cell = moments.New()
+			cube[key] = cell
+		}
+		// Memory usage metric: version-dependent baseline + noise.
+		cell.Add(80 + float64(key.version)*2 + rng.ExpFloat64()*30)
+	}
+	fmt.Printf("ingested 2M rows into %d cells in %s\n", len(cube), time.Since(start).Round(time.Millisecond))
+
+	// Roll-up 1: p99 memory for one version across all countries and OSes.
+	start = time.Now()
+	agg := moments.New()
+	merges := 0
+	for key, cell := range cube {
+		if key.version == 7 {
+			if err := agg.Merge(cell); err != nil {
+				panic(err)
+			}
+			merges++
+		}
+	}
+	p99, err := agg.Quantile(0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("version=7 rollup: %d merges, p99 = %.1f MB, query took %s\n",
+		merges, p99, time.Since(start).Round(time.Microsecond))
+
+	// Roll-up 2: global median across every cell.
+	start = time.Now()
+	global := moments.New()
+	for _, cell := range cube {
+		if err := global.Merge(cell); err != nil {
+			panic(err)
+		}
+	}
+	med, _ := global.Median()
+	fmt.Printf("global rollup: %d merges, median = %.1f MB, query took %s\n",
+		len(cube), med, time.Since(start).Round(time.Microsecond))
+
+	// Roll-up 3: per-version p95 — one merged sketch per group.
+	start = time.Now()
+	groups := make([]*moments.Sketch, nVersions)
+	for key, cell := range cube {
+		if groups[key.version] == nil {
+			groups[key.version] = moments.New()
+		}
+		if err := groups[key.version].Merge(cell); err != nil {
+			panic(err)
+		}
+	}
+	worst, worstV := 0.0, -1
+	for v, g := range groups {
+		if g == nil {
+			continue
+		}
+		q, err := g.Quantile(0.95)
+		if err != nil {
+			continue
+		}
+		if q > worst {
+			worst, worstV = q, v
+		}
+	}
+	fmt.Printf("group-by version: worst p95 is version %d at %.1f MB (took %s)\n",
+		worstV, worst, time.Since(start).Round(time.Microsecond))
+}

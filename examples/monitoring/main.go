@@ -1,0 +1,88 @@
+// Monitoring: MacroBase-style anomaly search (paper §7.2.1). Given one
+// pre-aggregated sketch per (service, region) subgroup, find every subgroup
+// whose outlier rate is at least 30x the global rate — equivalently, whose
+// 70th percentile exceeds the global 99th percentile. Threshold predicates
+// resolve through the moment-bound cascade, so almost no subgroup needs a
+// full maximum-entropy solve.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/moments"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(3, 5))
+
+	services := []string{"auth", "search", "checkout", "feed", "media", "push"}
+	regions := []string{"us-east", "us-west", "eu", "apac"}
+
+	// Pre-aggregate latency sketches per subgroup. "checkout/eu" is broken:
+	// most of its (low-volume) traffic hits a slow dependency. A 30x rate
+	// multiplier can only be met by subgroups whose traffic share is small
+	// relative to their outlier contribution, which is exactly the
+	// needle-in-a-haystack case these queries exist for.
+	type group struct {
+		name   string
+		sketch *moments.Sketch
+	}
+	var groups []group
+	global := moments.New()
+	for _, svc := range services {
+		for _, reg := range regions {
+			s := moments.New()
+			broken := svc == "checkout" && reg == "eu"
+			n := 200_000
+			if broken {
+				n = 20_000 // low-traffic region
+			}
+			for i := 0; i < n; i++ {
+				v := 10 + rng.ExpFloat64()*15
+				if broken && rng.Float64() < 0.6 {
+					v = 400 + rng.ExpFloat64()*100
+				}
+				s.Add(v)
+			}
+			groups = append(groups, group{svc + "/" + reg, s})
+			if err := global.Merge(s); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Global outlier threshold: the 99th percentile across all traffic.
+	t99, err := global.Quantile(0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("global p99 latency: %.1f ms over %.0f requests\n", t99, global.Count())
+
+	// Subgroups whose outlier rate >= 30x the global 1% rate, i.e. whose
+	// p70 exceeds t99.
+	const subPhi = 0.70
+	start := time.Now()
+	var flagged []string
+	for _, g := range groups {
+		hot, err := g.sketch.Threshold(t99, subPhi)
+		if err != nil {
+			// Near-discrete subgroup: fall back to guaranteed bounds.
+			lo, _ := g.sketch.RankBounds(t99)
+			hot = lo < subPhi
+		}
+		if hot {
+			flagged = append(flagged, g.name)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("scanned %d subgroups in %s\n", len(groups), elapsed.Round(time.Microsecond))
+	for _, name := range flagged {
+		fmt.Printf("  ALERT: %s outlier rate >= 30x global\n", name)
+	}
+	if len(flagged) == 0 {
+		fmt.Println("  no anomalous subgroups")
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a moments sketch over latency-like data, estimate
+// quantiles, and demonstrate that merging pre-aggregated sketches gives the
+// same answers as sketching the raw stream.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/moments"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	// Simulated request latencies (ms): lognormal-ish with a heavy tail.
+	latency := func() float64 {
+		base := 5 + rng.ExpFloat64()*20
+		if rng.Float64() < 0.02 { // occasional slow path
+			base += 200 + rng.ExpFloat64()*300
+		}
+		return base
+	}
+
+	// 1. Point-wise accumulation.
+	direct := moments.New() // default order k=10, <200 bytes
+	for i := 0; i < 500_000; i++ {
+		direct.Add(latency())
+	}
+	fmt.Printf("sketch size: %d bytes for %.0f values\n", direct.SizeBytes(), direct.Count())
+
+	for _, phi := range []float64{0.5, 0.9, 0.99} {
+		q, err := direct.Quantile(phi)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("p%-4g = %8.2f ms\n", phi*100, q)
+	}
+
+	// 2. Pre-aggregation: sketch each shard, then merge. Merging is
+	// lossless and takes tens of nanoseconds per sketch.
+	shards := make([]*moments.Sketch, 16)
+	for i := range shards {
+		shards[i] = moments.New()
+		for j := 0; j < 50_000; j++ {
+			shards[i].Add(latency())
+		}
+	}
+	merged := moments.New()
+	for _, s := range shards {
+		if err := merged.Merge(s); err != nil {
+			panic(err)
+		}
+	}
+	p99, _ := merged.Quantile(0.99)
+	fmt.Printf("\nmerged %d shards (%.0f values): p99 = %.2f ms\n",
+		len(shards), merged.Count(), p99)
+
+	// 3. Guaranteed bounds: the true rank of any threshold is provably
+	// inside [lo, hi], no matter how adversarial the data.
+	lo, hi := merged.RankBounds(100)
+	fmt.Printf("fraction of requests <= 100ms is within [%.4f, %.4f]\n", lo, hi)
+
+	// 4. Threshold predicates use a cascade of those bounds and are much
+	// cheaper than full quantile estimation.
+	breach, _ := merged.Threshold(250, 0.99)
+	fmt.Printf("p99 > 250ms? %v\n", breach)
+}

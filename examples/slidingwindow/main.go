@@ -1,0 +1,100 @@
+// Slidingwindow: the paper's §7.2.2 workflow. A day of CPU-usage readings
+// is pre-aggregated into 10-minute pane sketches; a 4-hour window slides
+// across them with turnstile updates — subtract the expiring pane's moments,
+// add the arriving pane's — to alert on windows whose p99 breaches a limit.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/moments"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(9, 13))
+
+	const (
+		panesPerDay = 144 // 10-minute panes
+		paneSize    = 2000
+		windowWidth = 24 // 4 hours
+		limit       = 92.0
+		phi         = 0.99
+	)
+
+	// Build pane sketches. Two incidents spike CPU usage mid-day.
+	panes := make([]*moments.Sketch, panesPerDay)
+	spiky := func(p int) bool { return (p >= 60 && p < 66) || (p >= 110 && p < 113) }
+	for p := range panes {
+		panes[p] = moments.New()
+		for i := 0; i < paneSize; i++ {
+			v := 35 + rng.NormFloat64()*12
+			if spiky(p) && rng.Float64() < 0.08 {
+				v = 95 + rng.Float64()*5
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 100 {
+				v = 100
+			}
+			panes[p].Add(v)
+		}
+	}
+
+	// Slide the window with turnstile updates.
+	start := time.Now()
+	window := moments.New()
+	for _, p := range panes[:windowWidth] {
+		if err := window.Merge(p); err != nil {
+			panic(err)
+		}
+	}
+	var alerts []int
+	for w := 0; ; w++ {
+		// Keep the support tight: Sub cannot shrink [min,max], but the live
+		// panes know the true range.
+		lo, hi := panes[w].Min(), panes[w].Max()
+		for _, p := range panes[w+1 : w+windowWidth] {
+			if p.Min() < lo {
+				lo = p.Min()
+			}
+			if p.Max() > hi {
+				hi = p.Max()
+			}
+		}
+		window.TightenRange(lo, hi)
+
+		breach, err := window.Threshold(limit, phi)
+		if err == nil && breach {
+			alerts = append(alerts, w)
+		}
+
+		if w+windowWidth >= len(panes) {
+			break
+		}
+		if err := window.Sub(panes[w]); err != nil {
+			panic(err)
+		}
+		// Sub cannot shrink the tracked [min,max]; the wider stale range
+		// stays sound, and the TightenRange above re-narrows it each slide.
+		if err := window.Merge(panes[w+windowWidth]); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("scanned %d window positions in %s\n", panesPerDay-windowWidth+1,
+		elapsed.Round(time.Microsecond))
+	if len(alerts) == 0 {
+		fmt.Println("no windows breached the p99 limit")
+		return
+	}
+	fmt.Printf("p99 > %.0f%% CPU in %d windows:\n", limit, len(alerts))
+	first, last := alerts[0], alerts[len(alerts)-1]
+	fmt.Printf("  first breach: window starting at pane %d (%02d:%02d)\n",
+		first, first*10/60, first*10%60)
+	fmt.Printf("  last breach:  window starting at pane %d (%02d:%02d)\n",
+		last, last*10/60, last*10%60)
+}

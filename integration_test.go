@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/macrobase"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+	"repro/internal/window"
+	"repro/moments"
+
+	"math/rand/v2"
+)
+
+// TestEndToEndCubePipeline drives the full stack the way a Druid-style
+// deployment would: ingest into a cube, roll up with filters, estimate
+// quantiles, check guaranteed bounds, and compare against raw-data truth.
+func TestEndToEndCubePipeline(t *testing.T) {
+	spec := dataset.Milan()
+	data := spec.Generate(200_000, 41)
+	rng := rand.New(rand.NewPCG(41, 42))
+
+	c, err := cube.New(cube.Schema{Dims: []string{"grid", "country"}, Card: []int{100, 10}},
+		func() sketch.Summary { return sketch.NewMSketch(10) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var country3 []float64
+	for _, v := range data {
+		coords := []int{rng.IntN(100), rng.IntN(10)}
+		c.Ingest(coords, v)
+		if coords[1] == 3 {
+			country3 = append(country3, v)
+		}
+	}
+
+	agg, merges, err := c.Query(cube.Filter{Dim: 1, Value: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges == 0 {
+		t.Fatal("no cells merged")
+	}
+	sorted := harness.SortedCopy(country3)
+	e := harness.EpsAvg(sorted, agg.Quantile, false)
+	if e > 0.01 {
+		t.Errorf("cube rollup eps_avg = %v, want <= 0.01", e)
+	}
+
+	// Guaranteed bounds from the same merged summary must contain truth.
+	ms := agg.(*sketch.MSketch)
+	truth := harness.TrueQuantile(country3, 0.9)
+	lo, hi := ms.S.RankBounds(truth)
+	if lo > 0.9 || hi < 0.9 {
+		t.Errorf("rank bounds [%v,%v] exclude the true rank 0.9", lo, hi)
+	}
+}
+
+// TestEndToEndMonitoringPipeline runs MacroBase + sliding windows over the
+// same pane data and cross-checks the cascade's agreement with direct
+// estimation at every layer.
+func TestEndToEndMonitoringPipeline(t *testing.T) {
+	spec := dataset.Exponential()
+	rng := rand.New(rand.NewPCG(51, 52))
+	nPanes, paneSize := 80, 300
+	panes := make([]*core.Sketch, nPanes)
+	sumPanes := make([]sketch.Summary, nPanes)
+	for p := range panes {
+		panes[p] = core.New(10)
+		m := sketch.NewMSketch(10)
+		for i := 0; i < paneSize; i++ {
+			v := spec.Gen(rng) * 10
+			if p >= 30 && p < 34 {
+				v *= 8 // incident
+			}
+			panes[p].Add(v)
+			m.Add(v)
+		}
+		sumPanes[p] = m
+	}
+	const width, thresh, phi = 8, 120.0, 0.95
+	fast, err := window.ScanMoments(panes, width, thresh, phi, cascade.Full(), maxent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Hot) == 0 {
+		t.Fatal("incident not detected")
+	}
+	// Windows containing the incident panes (27..33 starts) should fire.
+	found := false
+	for _, w := range fast.Hot {
+		if w <= 30 && w+width > 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hot windows %v miss the incident at pane 30", fast.Hot)
+	}
+
+	// MacroBase over the same panes, grouped in fours.
+	eng := &macrobase.Engine{Factory: func() sketch.Summary { return sketch.NewMSketch(10) }}
+	for g := 0; g*4 < nPanes; g++ {
+		var cells []sketch.Summary
+		for p := g * 4; p < (g+1)*4 && p < nPanes; p++ {
+			cells = append(cells, sumPanes[p])
+		}
+		eng.Groups = append(eng.Groups, macrobase.Group{Name: string(rune('a' + g)), Cells: cells})
+	}
+	repC, err := eng.Run(macrobase.ModeCascade, macrobase.Options{Cascade: cascade.Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repD, err := eng.Run(macrobase.ModeDirect, macrobase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repC.Matches) != len(repD.Matches) {
+		t.Errorf("cascade (%v) and direct (%v) disagree", repC.Matches, repD.Matches)
+	}
+}
+
+// TestPublicAPISerializationInterop moves sketches through the public
+// binary format across simulated process boundaries.
+func TestPublicAPISerializationInterop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	// "Mapper" processes each produce a serialized sketch.
+	blobs := make([][]byte, 8)
+	var reference []float64
+	for i := range blobs {
+		s := moments.New()
+		for j := 0; j < 20_000; j++ {
+			v := math.Exp(rng.NormFloat64())
+			s.Add(v)
+			reference = append(reference, v)
+		}
+		b, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = b
+	}
+	// "Reducer" merges the deserialized sketches.
+	root := moments.New()
+	for _, b := range blobs {
+		var s moments.Sketch
+		if err := s.UnmarshalBinary(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Merge(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := harness.SortedCopy(reference)
+	e := harness.EpsAvg(sorted, func(phi float64) float64 {
+		q, err := root.Quantile(phi)
+		if err != nil {
+			return math.NaN()
+		}
+		return q
+	}, false)
+	if e > 0.01 {
+		t.Errorf("map-reduce pipeline eps_avg = %v", e)
+	}
+}
+
+// TestWeightedIngestMatchesUnrolled checks the AddWeighted extension
+// against unrolled accumulation through the public API.
+func TestWeightedIngestMatchesUnrolled(t *testing.T) {
+	a, b := moments.New(), moments.New()
+	buckets := map[float64]int{1.5: 100, 3.25: 40, 10: 7, 250: 2}
+	for v, n := range buckets {
+		a.AddWeighted(v, float64(n))
+		for i := 0; i < n; i++ {
+			b.Add(v)
+		}
+	}
+	qa, errA := a.Quantile(0.5)
+	qb, errB := b.Quantile(0.5)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("solver disagreement: %v vs %v", errA, errB)
+	}
+	if errA == nil && math.Abs(qa-qb) > 1e-9*(1+math.Abs(qb)) {
+		t.Errorf("weighted median %v vs unrolled %v", qa, qb)
+	}
+}

@@ -1,0 +1,90 @@
+// Package bounds derives guaranteed rank bounds from the statistics in a
+// moments sketch (paper §5.1). Two families are provided:
+//
+//   - Markov: Markov's inequality applied to the moments of the shifted
+//     transforms T+(D) = x−xmin, T−(D) = xmax−x and their log-domain
+//     counterparts. Cheap and always valid.
+//   - RTT: the moment-based distribution bounding method of Racz, Tari and
+//     Telek [66], realized through canonical (principal) representations
+//     with a prescribed node — substantially tighter, more expensive, and
+//     falling back to Markov on any numerical failure so soundness is
+//     preserved.
+//
+// Both return an Interval that provably contains the fraction of data
+// values ≤ t, enabling threshold-query cascades (§5.2) and guaranteed
+// quantile error bounds (Appendix E).
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Interval is a closed sub-interval of [0,1] bounding a CDF value.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Full is the vacuous bound.
+func Full() Interval { return Interval{0, 1} }
+
+// Intersect returns the tightest interval implied by both bounds. Numeric
+// noise can make guaranteed-sound intervals disjoint by a hair; the result
+// is clamped to a point rather than inverting.
+func (iv Interval) Intersect(o Interval) Interval {
+	lo := math.Max(iv.Lo, o.Lo)
+	hi := math.Min(iv.Hi, o.Hi)
+	if lo > hi {
+		mid := (lo + hi) / 2
+		return Interval{mid, mid}
+	}
+	return Interval{lo, hi}
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether p lies in the interval (with a tolerance for
+// rank rounding).
+func (iv Interval) Contains(p float64) bool {
+	const tol = 1e-9
+	return p >= iv.Lo-tol && p <= iv.Hi+tol
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// QuantileErrorBound returns a guaranteed upper bound on the quantile error
+// ε of an estimate q for the φ-quantile: the true rank fraction of q lies in
+// rankBounds, so the error is at most the distance from φ to the farthest
+// end (Appendix E).
+func QuantileErrorBound(rank Interval, phi float64) float64 {
+	return math.Max(math.Abs(rank.Hi-phi), math.Abs(phi-rank.Lo))
+}
+
+// trivialBounds handles thresholds outside the data range; ok reports
+// whether the caller should return immediately.
+func trivialBounds(sk *core.Sketch, t float64) (Interval, bool) {
+	if sk.IsEmpty() {
+		return Full(), true
+	}
+	if t < sk.Min {
+		return Interval{0, 0}, true
+	}
+	if t >= sk.Max {
+		if t > sk.Max {
+			return Interval{1, 1}, true
+		}
+		// t == Max: everything except possibly the max-valued points is below.
+		return Interval{0, 1}, false
+	}
+	return Full(), false
+}

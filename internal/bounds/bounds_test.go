@@ -1,0 +1,213 @@
+package bounds
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// trueFraction returns the fraction of sorted data ≤ t.
+func trueFraction(sorted []float64, t float64) float64 {
+	// index of first element > t
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] > t })
+	return float64(idx) / float64(len(sorted))
+}
+
+func buildSketch(data []float64, k int) *core.Sketch {
+	sk := core.New(k)
+	sk.AddMany(data)
+	return sk
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{0.2, 0.8}
+	b := Interval{0.5, 0.9}
+	got := a.Intersect(b)
+	if got.Lo != 0.5 || got.Hi != 0.8 {
+		t.Errorf("Intersect = %+v", got)
+	}
+	if w := got.Width(); math.Abs(w-0.3) > 1e-12 {
+		t.Errorf("Width = %v", w)
+	}
+	if !got.Contains(0.6) || got.Contains(0.95) {
+		t.Error("Contains wrong")
+	}
+	// Disjoint intervals collapse to a point instead of inverting.
+	c := a.Intersect(Interval{0.9, 1})
+	if c.Lo > c.Hi {
+		t.Errorf("inverted interval %+v", c)
+	}
+}
+
+func TestMarkovSoundness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 10 },
+		"gaussian":    func() float64 { return rng.NormFloat64() },
+		"exponential": func() float64 { return rng.ExpFloat64() },
+		"lognormal":   func() float64 { return math.Exp(rng.NormFloat64() * 1.5) },
+	}
+	for name, gen := range dists {
+		data := make([]float64, 20000)
+		for i := range data {
+			data[i] = gen()
+		}
+		sorted := append([]float64{}, data...)
+		sort.Float64s(sorted)
+		sk := buildSketch(data, 10)
+		for i := 1; i <= 19; i++ {
+			t0 := sorted[len(sorted)*i/20]
+			iv := Markov(sk, t0)
+			frac := trueFraction(sorted, t0)
+			// rank(t) (strictly less) also must be inside.
+			if !iv.Contains(frac) {
+				t.Errorf("%s: Markov bound [%v,%v] misses F(%v)=%v", name, iv.Lo, iv.Hi, t0, frac)
+			}
+			if iv.Lo < 0 || iv.Hi > 1 {
+				t.Errorf("%s: bound outside [0,1]: %+v", name, iv)
+			}
+		}
+	}
+}
+
+func TestMarkovTrivialCases(t *testing.T) {
+	sk := buildSketch([]float64{1, 2, 3}, 4)
+	if iv := Markov(sk, 0.5); iv.Lo != 0 || iv.Hi != 0 {
+		t.Errorf("below min: %+v", iv)
+	}
+	if iv := Markov(sk, 4); iv.Lo != 1 || iv.Hi != 1 {
+		t.Errorf("above max: %+v", iv)
+	}
+	empty := core.New(4)
+	if iv := Markov(empty, 1); iv != Full() {
+		t.Errorf("empty sketch: %+v", iv)
+	}
+}
+
+func TestRTTSoundnessAndTightness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 10 },
+		"gaussian":    func() float64 { return rng.NormFloat64() },
+		"exponential": func() float64 { return rng.ExpFloat64() },
+	}
+	for name, gen := range dists {
+		data := make([]float64, 20000)
+		for i := range data {
+			data[i] = gen()
+		}
+		sorted := append([]float64{}, data...)
+		sort.Float64s(sorted)
+		sk := buildSketch(data, 10)
+		sumMarkov, sumRTT := 0.0, 0.0
+		for i := 1; i <= 19; i++ {
+			t0 := sorted[len(sorted)*i/20]
+			m := Markov(sk, t0)
+			r := RTT(sk, t0)
+			frac := trueFraction(sorted, t0)
+			if !r.Contains(frac) {
+				t.Errorf("%s: RTT bound [%v,%v] misses F(%v)=%v", name, r.Lo, r.Hi, t0, frac)
+			}
+			if r.Width() > m.Width()+1e-9 {
+				t.Errorf("%s: RTT wider than Markov at %v: %v vs %v", name, t0, r.Width(), m.Width())
+			}
+			sumMarkov += m.Width()
+			sumRTT += r.Width()
+		}
+		// RTT must be meaningfully tighter in aggregate (paper: tighter but
+		// more expensive bounds).
+		if sumRTT > 0.8*sumMarkov {
+			t.Errorf("%s: RTT not tighter in aggregate: %v vs %v", name, sumRTT, sumMarkov)
+		}
+	}
+}
+
+func TestRTTDegenerateSymmetricPoint(t *testing.T) {
+	// Uniform data, t exactly at the center: the m=1 construction is
+	// singular (symmetric); the implementation must degrade gracefully.
+	rng := rand.New(rand.NewPCG(3, 3))
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = rng.Float64()*2 - 1
+	}
+	sorted := append([]float64{}, data...)
+	sort.Float64s(sorted)
+	sk := buildSketch(data, 10)
+	iv := RTT(sk, 0)
+	if !iv.Contains(trueFraction(sorted, 0)) {
+		t.Errorf("RTT at symmetric center misses truth: %+v", iv)
+	}
+	if iv.Width() > 0.5 {
+		t.Errorf("RTT at center too loose: %+v", iv)
+	}
+}
+
+func TestCanonicalBoundsKnownUniform(t *testing.T) {
+	// Exact uniform moments on [-1,1]: µ_j = 1/(j+1) for even j, 0 for odd.
+	mu := make([]float64, 11)
+	for j := range mu {
+		if j%2 == 0 {
+			mu[j] = 1 / float64(j+1)
+		}
+	}
+	iv, ok := canonicalBounds(mu, 0.3)
+	if !ok {
+		t.Fatal("canonicalBounds failed on exact uniform moments")
+	}
+	want := (0.3 + 1) / 2 // true CDF of uniform at 0.3
+	if !iv.Contains(want) {
+		t.Errorf("bound %+v misses %v", iv, want)
+	}
+	if iv.Width() > 0.35 {
+		t.Errorf("bound too loose for 10 moments: %+v", iv)
+	}
+}
+
+func TestQuantileErrorBound(t *testing.T) {
+	iv := Interval{0.4, 0.6}
+	if got := QuantileErrorBound(iv, 0.5); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("error bound = %v, want 0.1", got)
+	}
+	if got := QuantileErrorBound(iv, 0.45); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("error bound = %v, want 0.15", got)
+	}
+}
+
+// Property: both bound families contain the true fraction for arbitrary
+// random datasets and thresholds.
+func TestBoundsSoundnessQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := 200 + rng.IntN(2000)
+		data := make([]float64, n)
+		scale := math.Exp(rng.NormFloat64() * 2)
+		for i := range data {
+			switch seed % 3 {
+			case 0:
+				data[i] = rng.NormFloat64() * scale
+			case 1:
+				data[i] = rng.ExpFloat64() * scale
+			default:
+				data[i] = rng.Float64() * scale
+			}
+		}
+		sorted := append([]float64{}, data...)
+		sort.Float64s(sorted)
+		sk := buildSketch(data, 8)
+		t0 := sorted[rng.IntN(n)]
+		frac := trueFraction(sorted, t0)
+		fracLess := float64(sort.SearchFloat64s(sorted, t0)) / float64(n)
+		m := Markov(sk, t0)
+		r := RTT(sk, t0)
+		// Both the ≤-fraction and the <-fraction should be inside (the
+		// interval bounds F(t⁻) through F(t⁺)).
+		return m.Contains(frac) && r.Contains(frac) && m.Contains(fracLess) && r.Contains(fracLess)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

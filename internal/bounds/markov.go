@@ -1,0 +1,85 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Markov bounds the fraction of data ≤ t using Markov's inequality on the
+// moments of the shifted transforms of the data (paper §5.1):
+//
+//	P(x ≥ t)  = P(x−xmin ≥ t−xmin) ≤ E[(x−xmin)^k]/(t−xmin)^k  → lower bound
+//	P(x ≤ t)  = P(xmax−x ≥ xmax−t) ≤ E[(xmax−x)^k]/(xmax−t)^k  → upper bound
+//
+// and, for strictly positive data, the same two inequalities on log(x).
+// Every usable moment order contributes; the tightest bound wins.
+func Markov(sk *core.Sketch, t float64) Interval {
+	if iv, done := trivialBounds(sk, t); done {
+		return iv
+	}
+	iv := Full()
+	kStd, kLog := sk.StableOrders()
+
+	if t > sk.Min {
+		// Lower bound from T+ = x - xmin.
+		mPlus := core.ShiftedMoments(sk.Count, sk.Pow, sk.Min, 1, kStd)
+		iv.Lo = math.Max(iv.Lo, markovLower(mPlus, t-sk.Min))
+	}
+	if t < sk.Max {
+		// Upper bound from T- = xmax - x.
+		mMinus := core.ShiftedMoments(sk.Count, sk.Pow, sk.Max, -1, kStd)
+		iv.Hi = math.Min(iv.Hi, markovUpper(mMinus, sk.Max-t))
+	}
+	if kLog > 0 && t > 0 && sk.HasLogMoments() {
+		lt := math.Log(t)
+		lmin, lmax := math.Log(sk.Min), math.Log(sk.Max)
+		if lt > lmin {
+			mPlus := core.ShiftedMoments(sk.LogCount, sk.LogPow, lmin, 1, kLog)
+			iv.Lo = math.Max(iv.Lo, markovLower(mPlus, lt-lmin))
+		}
+		if lt < lmax {
+			mMinus := core.ShiftedMoments(sk.LogCount, sk.LogPow, lmax, -1, kLog)
+			iv.Hi = math.Min(iv.Hi, markovUpper(mMinus, lmax-lt))
+		}
+	}
+	iv.Lo = clamp01(iv.Lo)
+	iv.Hi = clamp01(math.Max(iv.Hi, iv.Lo))
+	return iv
+}
+
+// markovLower returns the best lower bound 1 - m_k/a^k over usable orders.
+// m[j] = E[y^j] for the non-negative transform y, a > 0 the shifted
+// threshold.
+func markovLower(m []float64, a float64) float64 {
+	best := 0.0
+	ap := 1.0
+	for k := 1; k < len(m); k++ {
+		ap *= a
+		if m[k] <= 0 || math.IsNaN(m[k]) {
+			// Numerically corrupted moment (cancellation): skip — the
+			// inequality only holds for true non-negative moments.
+			continue
+		}
+		if b := 1 - m[k]/ap; b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// markovUpper returns the best upper bound m_k/a^k over usable orders.
+func markovUpper(m []float64, a float64) float64 {
+	best := 1.0
+	ap := 1.0
+	for k := 1; k < len(m); k++ {
+		ap *= a
+		if m[k] <= 0 || math.IsNaN(m[k]) {
+			continue
+		}
+		if b := m[k] / ap; b < best {
+			best = b
+		}
+	}
+	return best
+}

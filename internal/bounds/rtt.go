@@ -1,0 +1,151 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/rootfind"
+)
+
+// RTT bounds the fraction of data ≤ t using the moment-based distribution
+// bounding method of Racz, Tari and Telek [66]. For the 2m+1 standardized
+// moments µ_0..µ_2m, the canonical (principal) representation with a node
+// prescribed at the (scaled) threshold is a discrete distribution whose
+// below-t mass and at-t atom bound F(t⁻) and F(t⁺) for *every* distribution
+// sharing those moments (the Chebyshev–Markov–Stieltjes inequalities).
+//
+// The routine runs on the standard moments and — for positive data — on the
+// log moments, and intersects the two. It also intersects with the Markov
+// bounds, so its result is never looser; any numerical failure in the
+// canonical construction silently degrades to Markov, preserving soundness.
+func RTT(sk *core.Sketch, t float64) Interval {
+	if iv, done := trivialBounds(sk, t); done {
+		return iv
+	}
+	iv := Markov(sk, t)
+	kStd, kLog := sk.StableOrders()
+
+	if std, err := sk.Standardize(kStd); err == nil && std.HalfWidth > 0 {
+		u := std.Scale(t)
+		if u > -1 && u < 1 {
+			if cb, ok := canonicalBounds(std.Moments, u); ok {
+				iv = iv.Intersect(cb)
+			}
+		}
+	}
+	if kLog > 0 && t > 0 {
+		if lst, err := sk.StandardizeLog(kLog); err == nil && lst.HalfWidth > 0 {
+			u := lst.Scale(math.Log(t))
+			if u > -1 && u < 1 {
+				if cb, ok := canonicalBounds(lst.Moments, u); ok {
+					iv = iv.Intersect(cb)
+				}
+			}
+		}
+	}
+	return iv
+}
+
+// canonicalBounds computes the CMS bounds from monomial moments mu[0..K]
+// (of data supported on [-1,1]) at the interior point t ∈ (-1,1). ok is
+// false when the construction fails numerically and no bound is available.
+func canonicalBounds(mu []float64, t float64) (Interval, bool) {
+	m := (len(mu) - 1) / 2 // use mu[0..2m]
+	for ; m >= 2; m-- {
+		if iv, ok := canonicalBoundsAtOrder(mu, t, m); ok {
+			return iv, true
+		}
+	}
+	return Full(), false
+}
+
+func canonicalBoundsAtOrder(mu []float64, t float64, m int) (Interval, bool) {
+	// Moments of the signed measure (x - t)·dσ.
+	nu := make([]float64, 2*m)
+	for i := 0; i < 2*m; i++ {
+		nu[i] = mu[i+1] - t*mu[i]
+	}
+	// Monic orthogonal polynomial of degree m w.r.t. ν: Hankel solve.
+	h := linalg.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			h.Set(i, j, nu[i+j])
+		}
+	}
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		rhs[i] = -nu[i+m]
+	}
+	a, err := linalg.Solve(h, rhs)
+	if err != nil {
+		return Full(), false
+	}
+	// p(x) = x^m + Σ a_j x^j; by Krein theory its roots are real and lie in
+	// the support when the moment data is consistent.
+	p := func(x float64) float64 {
+		v := 1.0
+		for j := m - 1; j >= 0; j-- {
+			v = v*x + a[j]
+		}
+		return v
+	}
+	const span = 1e-9
+	roots := rootfind.RealRootsInInterval(p, -1-span, 1+span, 64*m, 1e-12)
+	// Drop any root that collides with the prescribed node.
+	nodes := []float64{t}
+	for _, r := range roots {
+		if math.Abs(r-t) > 1e-9 {
+			nodes = append(nodes, r)
+		}
+	}
+	if len(nodes) != m+1 {
+		return Full(), false
+	}
+	w, err := linalg.SolveVandermonde(nodes, mu[:m+1])
+	if err != nil {
+		return Full(), false
+	}
+	// Validate: weights must form a probability vector.
+	const negTol = 1e-7
+	sum := 0.0
+	for _, wi := range w {
+		if wi < -negTol || math.IsNaN(wi) {
+			return Full(), false
+		}
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return Full(), false
+	}
+	// Residual check on the higher moments the Vandermonde solve did not
+	// use: guards against junk from precision-damaged inputs.
+	for j := m + 1; j <= 2*m; j++ {
+		s := 0.0
+		for i, x := range nodes {
+			s += w[i] * pow(x, j)
+		}
+		if math.Abs(s-mu[j]) > 1e-5 {
+			return Full(), false
+		}
+	}
+	lower, atT := 0.0, 0.0
+	for i, x := range nodes {
+		wi := math.Max(w[i], 0)
+		switch {
+		case x < t-1e-9:
+			lower += wi
+		case x <= t+1e-9:
+			atT += wi
+		}
+	}
+	return Interval{clamp01(lower), clamp01(lower + atT)}, true
+}
+
+func pow(x float64, n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= x
+	}
+	return v
+}

@@ -1,0 +1,194 @@
+// Package cascade implements Algorithm 2 of the paper: threshold queries
+// ("is the φ-quantile above t?") answered through a sequence of increasingly
+// precise and increasingly expensive estimates — a simple range check, the
+// Markov bounds, the RTT bounds, and finally the full maximum-entropy
+// quantile. Because every bound provably contains the CDF of any
+// distribution matching the sketch's moments — including the maximum-entropy
+// one — the cascade is exactly consistent with computing the maximum-entropy
+// estimate up front, just cheaper (§5.2, Figs. 12–13).
+package cascade
+
+import (
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/maxent"
+)
+
+// Stage identifies a cascade stage.
+type Stage int
+
+// Cascade stages in evaluation order.
+const (
+	StageSimple Stage = iota // [xmin, xmax] range filter
+	StageMarkov              // Markov inequality bounds
+	StageRTT                 // RTT canonical-representation bounds
+	StageMaxEnt              // full maximum-entropy estimate
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageSimple:
+		return "Simple"
+	case StageMarkov:
+		return "Markov"
+	case StageRTT:
+		return "RTT"
+	case StageMaxEnt:
+		return "MaxEnt"
+	}
+	return "?"
+}
+
+// Config selects which stages run. The zero value runs only the final
+// maximum-entropy estimate (the paper's "Baseline"); Full() enables
+// everything.
+type Config struct {
+	UseSimple bool
+	UseMarkov bool
+	UseRTT    bool
+	// Solver configures the maximum-entropy fallback.
+	Solver maxent.Options
+}
+
+// Full returns the complete cascade configuration.
+func Full() Config {
+	return Config{UseSimple: true, UseMarkov: true, UseRTT: true}
+}
+
+// Stats accumulates per-stage resolution counts and time. Aggregate across
+// calls by passing the same Stats pointer; pass nil to skip accounting.
+type Stats struct {
+	Queries  int
+	Resolved [NumStages]int
+	Time     [NumStages]time.Duration
+}
+
+// Reached returns how many queries reached the given stage (i.e. were not
+// resolved earlier).
+func (st *Stats) Reached(s Stage) int {
+	n := st.Queries
+	for i := Stage(0); i < s; i++ {
+		n -= st.Resolved[i]
+	}
+	return n
+}
+
+// FractionHit returns the fraction of all queries processed by each stage —
+// the Fig. 13c series.
+func (st *Stats) FractionHit() [NumStages]float64 {
+	var out [NumStages]float64
+	if st.Queries == 0 {
+		return out
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		out[s] = float64(st.Reached(s)) / float64(st.Queries)
+	}
+	return out
+}
+
+// Threshold reports whether the φ-quantile of the sketched data exceeds t,
+// resolving through the configured cascade stages. The answer is consistent
+// with evaluating the maximum-entropy quantile directly. If the final
+// solver stage fails to converge (near-discrete data), the decision falls
+// back to the midpoint of the tightest available bound and err carries the
+// solver failure.
+func Threshold(sk *core.Sketch, t, phi float64, cfg Config, stats *Stats) (bool, error) {
+	if stats != nil {
+		stats.Queries++
+	}
+	if sk.IsEmpty() {
+		return false, core.ErrEmpty
+	}
+
+	if cfg.UseSimple {
+		start := now(stats)
+		if t >= sk.Max {
+			resolve(stats, StageSimple, start)
+			return false, nil
+		}
+		if t < sk.Min {
+			resolve(stats, StageSimple, start)
+			return true, nil
+		}
+		charge(stats, StageSimple, start)
+	}
+
+	best := bounds.Full()
+	if cfg.UseMarkov {
+		start := now(stats)
+		best = best.Intersect(bounds.Markov(sk, t))
+		if best.Hi < phi {
+			resolve(stats, StageMarkov, start)
+			return true, nil
+		}
+		if best.Lo > phi {
+			resolve(stats, StageMarkov, start)
+			return false, nil
+		}
+		charge(stats, StageMarkov, start)
+	}
+	if cfg.UseRTT {
+		start := now(stats)
+		best = best.Intersect(bounds.RTT(sk, t))
+		if best.Hi < phi {
+			resolve(stats, StageRTT, start)
+			return true, nil
+		}
+		if best.Lo > phi {
+			resolve(stats, StageRTT, start)
+			return false, nil
+		}
+		charge(stats, StageRTT, start)
+	}
+
+	start := now(stats)
+	sol, err := maxent.SolveSketch(sk, cfg.Solver)
+	if err != nil {
+		// Fallback: decide by the midpoint of the tightest guaranteed
+		// bound. When the earlier stages were disabled (baseline
+		// configurations), compute the RTT bounds now so the decision is
+		// identical to what a bound-enabled cascade would reach — keeping
+		// all configurations consistent even on solver-hostile data.
+		if !cfg.UseRTT {
+			best = best.Intersect(bounds.RTT(sk, t))
+		}
+		resolve(stats, StageMaxEnt, start)
+		return (best.Lo+best.Hi)/2 < phi, err
+	}
+	q := sol.Quantile(phi)
+	resolve(stats, StageMaxEnt, start)
+	return q > t, nil
+}
+
+// Quantile computes the maximum-entropy quantile estimate directly (no
+// cascade), for callers that need the value rather than a predicate.
+func Quantile(sk *core.Sketch, phi float64, opts maxent.Options) (float64, error) {
+	sol, err := maxent.SolveSketch(sk, opts)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Quantile(phi), nil
+}
+
+func now(stats *Stats) time.Time {
+	if stats == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func charge(stats *Stats, s Stage, start time.Time) {
+	if stats != nil {
+		stats.Time[s] += time.Since(start)
+	}
+}
+
+func resolve(stats *Stats, s Stage, start time.Time) {
+	if stats != nil {
+		stats.Time[s] += time.Since(start)
+		stats.Resolved[s]++
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cheby"
+)
+
+// Standardized holds the moments of affinely rescaled data
+// u = (x - Center)/HalfWidth ∈ [-1, 1], in both the monomial and Chebyshev
+// bases. This is the representation the maximum-entropy solver and the
+// moment-bound routines consume (paper §4.3).
+type Standardized struct {
+	// Center and HalfWidth define the affine map onto [-1,1].
+	Center, HalfWidth float64
+	// Moments[j] = E[u^j] for j = 0..k (Moments[0] == 1).
+	Moments []float64
+	// Cheby[j] = E[T_j(u)] for j = 0..k.
+	Cheby []float64
+}
+
+// K returns the highest moment order carried.
+func (st *Standardized) K() int { return len(st.Moments) - 1 }
+
+// Scale maps a raw-domain value into the standardized domain [-1,1].
+func (st *Standardized) Scale(x float64) float64 {
+	if st.HalfWidth == 0 {
+		return 0
+	}
+	return (x - st.Center) / st.HalfWidth
+}
+
+// Unscale maps a standardized value back to the raw domain.
+func (st *Standardized) Unscale(u float64) float64 {
+	return st.Center + st.HalfWidth*u
+}
+
+// ErrEmpty is returned when an operation needs data but the sketch is empty.
+var ErrEmpty = errors.New("core: empty sketch")
+
+// ErrNoLogMoments is returned when log-domain standardization is requested
+// but the data contains non-positive values (paper §4.1: log sums are
+// ignored in that case).
+var ErrNoLogMoments = errors.New("core: log moments unavailable (non-positive values present)")
+
+// binomialRow returns C(j, 0..j) as float64s. j stays small (≤ MaxK), so
+// the values are exactly representable.
+func binomialRow(j int) []float64 {
+	row := make([]float64, j+1)
+	row[0] = 1
+	for i := 1; i <= j; i++ {
+		row[i] = row[i-1] * float64(j-i+1) / float64(i)
+	}
+	return row
+}
+
+// ShiftedMoments converts raw power sums sums[i] = Σ xⁱ (with count n) into
+// shifted-and-scaled moments E[((x-c)/h)^j] for j = 0..k via the binomial
+// expansion. This is the precision-critical step analyzed in Appendix B.
+// A negative h is permitted and yields the moments of (c-x)/|h| — used by
+// the Markov bounds on the reflected transform T−(D) = xmax − x.
+func ShiftedMoments(n float64, sums []float64, c, h float64, k int) []float64 {
+	out := make([]float64, k+1)
+	out[0] = 1
+	if h == 0 {
+		// Degenerate range: all mass at the center, u ≡ 0.
+		return out
+	}
+	// raw[i] = E[x^i]
+	raw := make([]float64, k+1)
+	raw[0] = 1
+	for i := 1; i <= k; i++ {
+		raw[i] = sums[i-1] / n
+	}
+	hp := 1.0
+	for j := 1; j <= k; j++ {
+		hp *= h
+		bin := binomialRow(j)
+		s := 0.0
+		// Σ_{i=0}^{j} C(j,i)·(-c)^{j-i}·E[x^i]
+		cp := 1.0 // (-c)^(j-i) built from high powers down
+		// Evaluate from i=j down to 0 so the power of (-c) grows.
+		for i := j; i >= 0; i-- {
+			s += bin[i] * cp * raw[i]
+			cp *= -c
+		}
+		out[j] = s / hp
+	}
+	return out
+}
+
+// Standardize returns the standardized moments in the value domain, mapped
+// from [Min, Max] onto [-1,1], carrying orders 0..k (k ≤ K).
+func (s *Sketch) Standardize(k int) (*Standardized, error) {
+	if s.Count <= 0 {
+		return nil, ErrEmpty
+	}
+	if k > s.K {
+		k = s.K
+	}
+	c := (s.Max + s.Min) / 2
+	h := (s.Max - s.Min) / 2
+	m := ShiftedMoments(s.Count, s.Pow, c, h, k)
+	return &Standardized{
+		Center:    c,
+		HalfWidth: h,
+		Moments:   m,
+		Cheby:     cheby.MomentsToChebyshev(m),
+	}, nil
+}
+
+// StandardizeLog returns the standardized moments in the log domain, mapped
+// from [log Min, log Max] onto [-1,1]. It fails unless all data is strictly
+// positive.
+func (s *Sketch) StandardizeLog(k int) (*Standardized, error) {
+	if s.Count <= 0 {
+		return nil, ErrEmpty
+	}
+	if !s.HasLogMoments() {
+		return nil, ErrNoLogMoments
+	}
+	if k > s.K {
+		k = s.K
+	}
+	lmin, lmax := math.Log(s.Min), math.Log(s.Max)
+	c := (lmax + lmin) / 2
+	h := (lmax - lmin) / 2
+	m := ShiftedMoments(s.LogCount, s.LogPow, c, h, k)
+	return &Standardized{
+		Center:    c,
+		HalfWidth: h,
+		Moments:   m,
+		Cheby:     cheby.MomentsToChebyshev(m),
+	}, nil
+}
+
+// StableK returns the highest moment order that remains numerically useful
+// after shifting data centered at `center` with half-width `halfWidth` onto
+// [-1,1], per the Appendix B bound
+//
+//	k ≤ 13.35 / (0.78 + log10(|c|+1)),  c = center/halfWidth.
+//
+// The result is clamped to [2, MaxK].
+func StableK(center, halfWidth float64) int {
+	if halfWidth <= 0 {
+		return MaxK
+	}
+	c := math.Abs(center / halfWidth)
+	k := int(13.35 / (0.78 + math.Log10(c+1)))
+	if k < 2 {
+		k = 2
+	}
+	if k > MaxK {
+		k = MaxK
+	}
+	return k
+}
+
+// StableOrders returns the numerically usable moment orders for the value
+// and log domains of this sketch, additionally capped at the sketch's K.
+func (s *Sketch) StableOrders() (kStd, kLog int) {
+	if s.Count <= 0 {
+		return 0, 0
+	}
+	kStd = StableK((s.Max+s.Min)/2, (s.Max-s.Min)/2)
+	if kStd > s.K {
+		kStd = s.K
+	}
+	if s.HasLogMoments() {
+		lmin, lmax := math.Log(s.Min), math.Log(s.Max)
+		kLog = StableK((lmax+lmin)/2, (lmax-lmin)/2)
+		if kLog > s.K {
+			kLog = s.K
+		}
+	}
+	return kStd, kLog
+}
+
+// ExactStandardized computes the standardized moment vector directly from
+// raw data, bypassing the power-sum representation. It is the ground truth
+// used by precision-loss experiments (Appendix B, Fig. 16) and tests.
+func ExactStandardized(data []float64, c, h float64, k int, logDomain bool) *Standardized {
+	m := make([]float64, k+1)
+	m[0] = 1
+	n := 0.0
+	for _, x := range data {
+		v := x
+		if logDomain {
+			if x <= 0 {
+				continue
+			}
+			v = math.Log(x)
+		}
+		u := 0.0
+		if h != 0 {
+			u = (v - c) / h
+		}
+		p := 1.0
+		for j := 1; j <= k; j++ {
+			p *= u
+			m[j] += p
+		}
+		n++
+	}
+	if n > 0 {
+		for j := 1; j <= k; j++ {
+			m[j] /= n
+		}
+	}
+	return &Standardized{Center: c, HalfWidth: h, Moments: m, Cheby: cheby.MomentsToChebyshev(m)}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardizeAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 20))
+	data := make([]float64, 5000)
+	s := New(10)
+	for i := range data {
+		data[i] = rng.Float64()*8 + 2 // [2,10]
+		s.Add(data[i])
+	}
+	st, err := s.Standardize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactStandardized(data, st.Center, st.HalfWidth, 10, false)
+	for j := 0; j <= 10; j++ {
+		if math.Abs(st.Moments[j]-exact.Moments[j]) > 1e-7 {
+			t.Errorf("moment[%d] = %v, exact %v", j, st.Moments[j], exact.Moments[j])
+		}
+		if math.Abs(st.Cheby[j]-exact.Cheby[j]) > 1e-6 {
+			t.Errorf("cheby[%d] = %v, exact %v", j, st.Cheby[j], exact.Cheby[j])
+		}
+	}
+	// Standardized moments must lie in [-1,1].
+	for j, m := range st.Moments {
+		if m < -1-1e-9 || m > 1+1e-9 {
+			t.Errorf("moment[%d] = %v outside [-1,1]", j, m)
+		}
+	}
+}
+
+func TestStandardizeLogAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 21))
+	data := make([]float64, 5000)
+	s := New(8)
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64()) // lognormal
+		s.Add(data[i])
+	}
+	st, err := s.StandardizeLog(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactStandardized(data, st.Center, st.HalfWidth, 8, true)
+	for j := 0; j <= 8; j++ {
+		if math.Abs(st.Moments[j]-exact.Moments[j]) > 1e-6 {
+			t.Errorf("log moment[%d] = %v, exact %v", j, st.Moments[j], exact.Moments[j])
+		}
+	}
+}
+
+func TestStandardizeLogRejectsNonPositive(t *testing.T) {
+	s := New(4)
+	s.Add(-1)
+	s.Add(2)
+	if _, err := s.StandardizeLog(4); err != ErrNoLogMoments {
+		t.Errorf("err = %v, want ErrNoLogMoments", err)
+	}
+}
+
+func TestStandardizeEmpty(t *testing.T) {
+	s := New(4)
+	if _, err := s.Standardize(4); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestStandardizeDegenerateRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10; i++ {
+		s.Add(7)
+	}
+	st, err := s.Standardize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HalfWidth != 0 {
+		t.Errorf("HalfWidth = %v, want 0", st.HalfWidth)
+	}
+	for j := 1; j <= 5; j++ {
+		if st.Moments[j] != 0 {
+			t.Errorf("degenerate moment[%d] = %v, want 0", j, st.Moments[j])
+		}
+	}
+	if st.Scale(7) != 0 || st.Unscale(0) != 7 {
+		t.Error("degenerate scale mapping wrong")
+	}
+}
+
+func TestScaleUnscaleRoundTrip(t *testing.T) {
+	st := &Standardized{Center: 5, HalfWidth: 3}
+	for _, x := range []float64{2, 5, 8, 6.5} {
+		if got := st.Unscale(st.Scale(x)); math.Abs(got-x) > 1e-12 {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+	if st.Scale(2) != -1 || st.Scale(8) != 1 {
+		t.Error("endpoints should map to ±1")
+	}
+}
+
+func TestStableK(t *testing.T) {
+	// Centered data keeps many stable moments (paper: c=0 gives k≥16).
+	if k := StableK(0, 1); k < 16 {
+		t.Errorf("StableK(0,1) = %d, want >= 16", k)
+	}
+	// Paper's example: raw range [xmin, 3xmin] has c = 2 and at least 10
+	// stable moments.
+	if k := StableK(2, 1); k < 10 {
+		t.Errorf("StableK(2,1) = %d, want >= 10", k)
+	}
+	// Heavily offset data loses almost everything.
+	if k := StableK(1000, 1); k > 5 {
+		t.Errorf("StableK(1000,1) = %d, want small", k)
+	}
+	// Degenerate half width claims the max.
+	if k := StableK(5, 0); k != MaxK {
+		t.Errorf("StableK(5,0) = %d, want %d", k, MaxK)
+	}
+}
+
+func TestStableOrders(t *testing.T) {
+	s := New(10)
+	// Data on [1,3]: value-domain center/halfwidth = 2/1 → c=2 → ~10 stable;
+	// log domain on [0, 1.1] → c≈1 → plenty.
+	for _, x := range []float64{1, 1.5, 2, 2.5, 3} {
+		s.Add(x)
+	}
+	kStd, kLog := s.StableOrders()
+	if kStd < 8 || kStd > 10 {
+		t.Errorf("kStd = %d", kStd)
+	}
+	if kLog < 8 {
+		t.Errorf("kLog = %d", kLog)
+	}
+	neg := New(10)
+	neg.Add(-1)
+	neg.Add(1)
+	_, kLog = neg.StableOrders()
+	if kLog != 0 {
+		t.Errorf("kLog with negatives = %d, want 0", kLog)
+	}
+}
+
+// Property: for data on [lo,hi], the first standardized moment equals the
+// scaled mean and the second stays within [0,1].
+func TestStandardizedMomentRangesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		s := New(8)
+		n := 2 + rng.IntN(100)
+		var lo, hi float64 = math.Inf(1), math.Inf(-1)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 50
+			s.Add(x)
+			sum += x
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		st, err := s.Standardize(8)
+		if err != nil {
+			return false
+		}
+		wantM1 := 0.0
+		if hi > lo {
+			wantM1 = (sum/float64(n) - (hi+lo)/2) / ((hi - lo) / 2)
+		}
+		if math.Abs(st.Moments[1]-wantM1) > 1e-6 {
+			return false
+		}
+		return st.Moments[2] >= -1e-9 && st.Moments[2] <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Precision-loss regression (Appendix B flavor): on well-centered data the
+// sketch-derived Chebyshev moments agree with exact ones to near machine
+// precision; on offset data the loss grows but stays within the StableK
+// budget.
+func TestPrecisionLossWithinStableBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 88))
+	for _, offset := range []float64{0, 1.5, 4} {
+		s := New(12)
+		data := make([]float64, 20000)
+		for i := range data {
+			data[i] = rng.Float64()*2 - 1 + offset
+			s.Add(data[i])
+		}
+		st, err := s.Standardize(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := ExactStandardized(data, st.Center, st.HalfWidth, 12, false)
+		kStable := StableK(st.Center, st.HalfWidth)
+		// Appendix-B envelope: δ_k ≤ 2^k (|c|+1)^k δ_s, with δ_s the relative
+		// error in the accumulated power sums (~1e-13 for 20k adds).
+		cAbs := math.Abs(st.Center / st.HalfWidth)
+		for j := 1; j <= 12 && j <= kStable; j++ {
+			budget := math.Pow(2*(cAbs+1), float64(j)) * 1e-12
+			diff := math.Abs(st.Cheby[j] - exact.Cheby[j])
+			if diff > budget {
+				t.Errorf("offset %v: cheby[%d] precision loss %v exceeds Appendix-B budget %v",
+					offset, j, diff, budget)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddWeightedEquivalence(t *testing.T) {
+	a, b := New(6), New(6)
+	vals := []float64{1.5, 2.5, 7}
+	reps := []int{3, 1, 4}
+	for i, v := range vals {
+		for r := 0; r < reps[i]; r++ {
+			a.Add(v)
+		}
+		b.AddWeighted(v, float64(reps[i]))
+	}
+	if a.Count != b.Count || a.Min != b.Min || a.Max != b.Max {
+		t.Errorf("header mismatch: %+v vs %+v", a, b)
+	}
+	for i := 0; i < 6; i++ {
+		if math.Abs(a.Pow[i]-b.Pow[i]) > 1e-9*(1+math.Abs(a.Pow[i])) {
+			t.Errorf("Pow[%d]: %v vs %v", i, a.Pow[i], b.Pow[i])
+		}
+		if math.Abs(a.LogPow[i]-b.LogPow[i]) > 1e-9*(1+math.Abs(a.LogPow[i])) {
+			t.Errorf("LogPow[%d]: %v vs %v", i, a.LogPow[i], b.LogPow[i])
+		}
+	}
+}
+
+func TestAddWeightedIgnoresNonPositiveWeight(t *testing.T) {
+	s := New(3)
+	s.AddWeighted(5, 0)
+	s.AddWeighted(5, -2)
+	if !s.IsEmpty() {
+		t.Errorf("non-positive weights must be ignored: %+v", s)
+	}
+}
+
+func TestAddWeightedFractional(t *testing.T) {
+	s := New(4)
+	s.AddWeighted(2, 0.5)
+	s.AddWeighted(4, 1.5)
+	if s.Count != 2 {
+		t.Errorf("Count = %v", s.Count)
+	}
+	if got := s.Mean(); math.Abs(got-(2*0.5+4*1.5)/2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if s.LogCount != 2 {
+		t.Errorf("LogCount = %v", s.LogCount)
+	}
+}
+
+func TestAddWeightedNegativeValueSkipsLogs(t *testing.T) {
+	s := New(3)
+	s.AddWeighted(-4, 2)
+	if s.LogCount != 0 || s.Count != 2 {
+		t.Errorf("negative value: LogCount=%v Count=%v", s.LogCount, s.Count)
+	}
+}
+
+// Property: weighted accumulation commutes with merging.
+func TestAddWeightedMergeCommutesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		direct := New(5)
+		a, b := New(5), New(5)
+		for i := 0; i < 20; i++ {
+			x := rng.Float64()*10 + 0.1
+			w := float64(1 + rng.IntN(5))
+			direct.AddWeighted(x, w)
+			if i%2 == 0 {
+				a.AddWeighted(x, w)
+			} else {
+				b.AddWeighted(x, w)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.Count != direct.Count {
+			return false
+		}
+		for i := range a.Pow {
+			if math.Abs(a.Pow[i]-direct.Pow[i]) > 1e-9*(1+math.Abs(direct.Pow[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

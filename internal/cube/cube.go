@@ -1,0 +1,189 @@
+// Package cube implements a Druid-like in-memory data cube (paper Fig. 1,
+// §7.1): one pre-aggregated summary per combination of dimension values.
+// Roll-up queries merge the summaries of every cell matching a filter —
+// query time is (cells scanned) × (per-merge cost) + (estimation cost),
+// which is precisely the regime the moments sketch targets. A native sum
+// aggregate is maintained per cell as the lower-bound baseline of Fig. 11.
+package cube
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// Schema names the cube's dimensions and their cardinalities.
+type Schema struct {
+	Dims []string
+	Card []int
+}
+
+// Strides returns the mixed-radix strides for packing coordinates.
+func (s Schema) strides() []int {
+	st := make([]int, len(s.Card))
+	acc := 1
+	for i := range s.Card {
+		st[i] = acc
+		acc *= s.Card[i]
+	}
+	return st
+}
+
+// MaxCells returns the total coordinate space size.
+func (s Schema) MaxCells() int {
+	acc := 1
+	for _, c := range s.Card {
+		acc *= c
+	}
+	return acc
+}
+
+// Cell is one pre-aggregated cube entry.
+type Cell struct {
+	Coords  []int
+	Summary sketch.Summary
+	Sum     float64
+	Count   float64
+}
+
+// Cube is an in-memory data cube with pluggable summary aggregators.
+type Cube struct {
+	schema  Schema
+	strides []int
+	factory func() sketch.Summary
+	cells   map[uint64]*Cell
+}
+
+// New builds an empty cube. factory creates the per-cell summary.
+func New(schema Schema, factory func() sketch.Summary) (*Cube, error) {
+	if len(schema.Dims) == 0 || len(schema.Dims) != len(schema.Card) {
+		return nil, fmt.Errorf("cube: schema dims/card mismatch")
+	}
+	for _, c := range schema.Card {
+		if c <= 0 {
+			return nil, fmt.Errorf("cube: non-positive cardinality")
+		}
+	}
+	return &Cube{
+		schema:  schema,
+		strides: schema.strides(),
+		factory: factory,
+		cells:   make(map[uint64]*Cell),
+	}, nil
+}
+
+// key packs coordinates; panics on out-of-range values (programmer error).
+func (c *Cube) key(coords []int) uint64 {
+	if len(coords) != len(c.strides) {
+		panic("cube: coordinate arity mismatch")
+	}
+	k := uint64(0)
+	for i, v := range coords {
+		if v < 0 || v >= c.schema.Card[i] {
+			panic(fmt.Sprintf("cube: coordinate %d out of range: %d", i, v))
+		}
+		k += uint64(v) * uint64(c.strides[i])
+	}
+	return k
+}
+
+// Ingest routes one value into its cell, creating the cell on first touch.
+func (c *Cube) Ingest(coords []int, value float64) {
+	k := c.key(coords)
+	cell, ok := c.cells[k]
+	if !ok {
+		cell = &Cell{
+			Coords:  append([]int{}, coords...),
+			Summary: c.factory(),
+		}
+		c.cells[k] = cell
+	}
+	cell.Summary.Add(value)
+	cell.Sum += value
+	cell.Count++
+}
+
+// NumCells returns the number of materialized cells.
+func (c *Cube) NumCells() int { return len(c.cells) }
+
+// Schema returns the cube's schema.
+func (c *Cube) Schema() Schema { return c.schema }
+
+// Filter restricts a query to cells with the given value on a dimension.
+// A query takes zero or more filters; unmentioned dimensions roll up.
+type Filter struct {
+	Dim   int
+	Value int
+}
+
+func matches(cell *Cell, filters []Filter) bool {
+	for _, f := range filters {
+		if cell.Coords[f.Dim] != f.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Query merges every matching cell's summary into a fresh aggregate — the
+// Druid-style roll-up. It returns the merged summary and the number of
+// merges performed.
+func (c *Cube) Query(filters ...Filter) (sketch.Summary, int, error) {
+	agg := c.factory()
+	merges := 0
+	for _, cell := range c.cells {
+		if matches(cell, filters) {
+			if err := agg.Merge(cell.Summary); err != nil {
+				return nil, merges, err
+			}
+			merges++
+		}
+	}
+	return agg, merges, nil
+}
+
+// QuerySum is the native sum/count aggregation baseline.
+func (c *Cube) QuerySum(filters ...Filter) (sum, count float64) {
+	for _, cell := range c.cells {
+		if matches(cell, filters) {
+			sum += cell.Sum
+			count += cell.Count
+		}
+	}
+	return sum, count
+}
+
+// GroupBy rolls up matching cells grouped by the given dimensions,
+// returning one merged summary per group. This is the MacroBase-style
+// subgroup enumeration.
+func (c *Cube) GroupBy(dims []int, filters ...Filter) (map[string]sketch.Summary, error) {
+	out := make(map[string]sketch.Summary)
+	for _, cell := range c.cells {
+		if !matches(cell, filters) {
+			continue
+		}
+		key := groupKey(cell.Coords, dims)
+		agg, ok := out[key]
+		if !ok {
+			agg = c.factory()
+			out[key] = agg
+		}
+		if err := agg.Merge(cell.Summary); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Cells exposes the raw cells for engines that orchestrate their own
+// aggregation (MacroBase, window scans). The map must not be mutated.
+func (c *Cube) Cells() map[uint64]*Cell { return c.cells }
+
+func groupKey(coords []int, dims []int) string {
+	b := make([]byte, 0, len(dims)*4)
+	for _, d := range dims {
+		v := coords[d]
+		b = append(b, byte(d), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}

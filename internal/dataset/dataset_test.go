@@ -1,0 +1,195 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, spec := range Table1() {
+		a := spec.Generate(1000, 42)
+		b := spec.Generate(1000, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: generation not deterministic at %d", spec.Name, i)
+			}
+		}
+		c := spec.Generate(1000, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical data", spec.Name)
+		}
+	}
+}
+
+// The generators must land in the right statistical ballpark of Table 1:
+// exact matching is impossible (the real data is unavailable) but range,
+// scale, and tail direction must agree.
+func TestTable1Shapes(t *testing.T) {
+	type expect struct {
+		minLo, minHi   float64
+		maxHi          float64
+		meanLo, meanHi float64
+		skewLo         float64
+	}
+	expects := map[string]expect{
+		"milan":       {0, 0.01, 8000, 20, 60, 3},
+		"hepmass":     {-2.5, -1.5, 5, -0.2, 0.25, -1},
+		"occupancy":   {405, 440, 2100, 550, 850, 0.5},
+		"retail":      {1, 1, 81001, 5, 20, 10},
+		"power":       {0.05, 0.3, 11.2, 0.8, 1.4, 0.8},
+		"exponential": {0, 0.001, 25, 0.95, 1.05, 1.5},
+	}
+	for _, spec := range Table1() {
+		data := spec.Generate(200000, 7)
+		st := Describe(data)
+		e := expects[spec.Name]
+		if st.Min < e.minLo || st.Min > e.minHi {
+			t.Errorf("%s: min = %v, want in [%v,%v]", spec.Name, st.Min, e.minLo, e.minHi)
+		}
+		if st.Max > e.maxHi {
+			t.Errorf("%s: max = %v, want <= %v", spec.Name, st.Max, e.maxHi)
+		}
+		if st.Mean < e.meanLo || st.Mean > e.meanHi {
+			t.Errorf("%s: mean = %v, want in [%v,%v]", spec.Name, st.Mean, e.meanLo, e.meanHi)
+		}
+		if st.Skew < e.skewLo {
+			t.Errorf("%s: skew = %v, want >= %v", spec.Name, st.Skew, e.skewLo)
+		}
+	}
+}
+
+func TestRetailIsInteger(t *testing.T) {
+	spec := Retail()
+	if !spec.Integer {
+		t.Error("retail must be marked Integer")
+	}
+	for _, v := range spec.Generate(5000, 3) {
+		if v != math.Floor(v) || v < 1 {
+			t.Fatalf("retail value %v not a positive integer", v)
+		}
+	}
+}
+
+func TestGammaShape(t *testing.T) {
+	// Gamma(k): mean k, variance k, skew 2/√k.
+	for _, ks := range []float64{0.1, 1.0, 10.0} {
+		data := Gamma(ks).Generate(300000, 11)
+		st := Describe(data)
+		if math.Abs(st.Mean-ks) > 0.05*ks+0.02 {
+			t.Errorf("gamma(%v): mean = %v", ks, st.Mean)
+		}
+		wantSkew := 2 / math.Sqrt(ks)
+		if math.Abs(st.Skew-wantSkew) > 0.25*wantSkew {
+			t.Errorf("gamma(%v): skew = %v, want ~%v", ks, st.Skew, wantSkew)
+		}
+	}
+}
+
+func TestUniformDiscreteCardinality(t *testing.T) {
+	for _, card := range []int{2, 5, 32} {
+		data := UniformDiscrete(card).Generate(10000, 5)
+		seen := map[float64]bool{}
+		for _, v := range data {
+			seen[v] = true
+			if v < -1 || v > 1 {
+				t.Fatalf("discrete value %v outside [-1,1]", v)
+			}
+		}
+		if len(seen) != card {
+			t.Errorf("cardinality %d produced %d distinct values", card, len(seen))
+		}
+	}
+}
+
+func TestGaussianWithOutliers(t *testing.T) {
+	data := GaussianWithOutliers(100, 0.01).Generate(200000, 9)
+	outliers := 0
+	for _, v := range data {
+		if v > 50 {
+			outliers++
+		}
+	}
+	frac := float64(outliers) / float64(len(data))
+	if math.Abs(frac-0.01) > 0.002 {
+		t.Errorf("outlier fraction = %v, want ~0.01", frac)
+	}
+}
+
+func TestProductionCellSizes(t *testing.T) {
+	p := Production{NumCells: 50000, Seed: 1}
+	sizes := p.CellSizes()
+	if len(sizes) != 50000 {
+		t.Fatal("wrong cell count")
+	}
+	minSz, maxSz, sum := math.MaxInt32, 0, 0
+	for _, s := range sizes {
+		if s < minSz {
+			minSz = s
+		}
+		if s > maxSz {
+			maxSz = s
+		}
+		sum += s
+	}
+	if minSz < 5 {
+		t.Errorf("min cell size %d < 5", minSz)
+	}
+	mean := float64(sum) / float64(len(sizes))
+	if mean < 1000 || mean > 5000 {
+		t.Errorf("mean cell size = %v, want ≈ 2380", mean)
+	}
+	if maxSz < 50*minSz {
+		t.Errorf("cell sizes not variable enough: [%d, %d]", minSz, maxSz)
+	}
+	vals := p.Values()
+	for i := 0; i < 1000; i++ {
+		v := vals()
+		if v != math.Floor(v) || v < 1 {
+			t.Fatalf("production value %v not a positive integer", v)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"milan", "hepmass", "occupancy", "retail", "power", "exponential", "gauss"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	st := Describe([]float64{1, 2, 3, 4})
+	if st.Min != 1 || st.Max != 4 || st.Mean != 2.5 || st.Size != 4 {
+		t.Errorf("Describe = %+v", st)
+	}
+	if math.Abs(st.Skew) > 1e-12 {
+		t.Errorf("symmetric data skew = %v", st.Skew)
+	}
+	if empty := Describe(nil); empty.Size != 0 {
+		t.Error("empty describe")
+	}
+}
+
+func TestMilanLongTailQuantiles(t *testing.T) {
+	// The milan analog must have the long-tail property that makes log
+	// moments matter: p99/p50 large.
+	data := Milan().Generate(200000, 13)
+	sort.Float64s(data)
+	p50 := data[len(data)/2]
+	p99 := data[len(data)*99/100]
+	if p99/p50 < 5 {
+		t.Errorf("milan tail ratio p99/p50 = %v, want long-tailed", p99/p50)
+	}
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Production models the Microsoft application-telemetry workload of
+// Appendix D.4: an integer-valued performance metric pre-aggregated into
+// cells of highly variable size (min 5, mean ≈ 2380, max ≈ 7.2e5 in the
+// paper; the lognormal below reproduces that spread at any scale).
+type Production struct {
+	// NumCells is how many pre-aggregated cells to generate.
+	NumCells int
+	// MeanCellSize controls the lognormal cell-size distribution.
+	MeanCellSize float64
+	// Seed fixes the generator stream.
+	Seed uint64
+}
+
+// CellSizes draws the per-cell row counts.
+func (p Production) CellSizes() []int {
+	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0xBEEF))
+	mean := p.MeanCellSize
+	if mean <= 0 {
+		mean = 2380
+	}
+	// Lognormal with σ = 1.8 gives min ~5, max ~3000× mean at 400k cells.
+	sigma := 1.8
+	mu := math.Log(mean) - sigma*sigma/2
+	out := make([]int, p.NumCells)
+	for i := range out {
+		v := int(math.Exp(rng.NormFloat64()*sigma + mu))
+		if v < 5 {
+			v = 5
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Values returns a generator for the integer-valued metric: a discretized
+// lognormal covering ~5 orders of magnitude, like the CDF in Fig. 21.
+func (p Production) Values() func() float64 {
+	rng := rand.New(rand.NewPCG(p.Seed^0xCAFE, p.Seed))
+	return func() float64 {
+		v := math.Floor(math.Exp(rng.NormFloat64()*1.9 + 4.5))
+		if v < 1 {
+			v = 1
+		}
+		if v > 3e5 {
+			v = 3e5
+		}
+		return v
+	}
+}

@@ -1,0 +1,189 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+)
+
+// Gaussian fits a normal distribution to the first two moments (the
+// "gaussian" lesion estimator). In the log domain this amounts to a
+// lognormal fit.
+type Gaussian struct {
+	in       Input
+	mean, sd float64
+}
+
+// NewGaussian returns the closed-form normal-fit estimator.
+func NewGaussian() *Gaussian { return &Gaussian{} }
+
+// Name implements Estimator.
+func (g *Gaussian) Name() string { return "gaussian" }
+
+// Prepare implements Estimator.
+func (g *Gaussian) Prepare(in Input) error {
+	if len(in.Std.Moments) < 3 {
+		return errors.New("estimators: gaussian needs two moments")
+	}
+	g.in = in
+	g.mean = in.Std.Moments[1]
+	v := in.Std.Moments[2] - g.mean*g.mean
+	if v < 0 {
+		v = 0
+	}
+	g.sd = math.Sqrt(v)
+	return nil
+}
+
+// Quantile implements Estimator.
+func (g *Gaussian) Quantile(phi float64) float64 {
+	return g.in.FromU(g.mean + g.sd*NormalQuantile(phi))
+}
+
+// NormalQuantile is the standard normal inverse CDF Φ⁻¹, computed with
+// Acklam's rational approximation refined by one Halley step — ~1e-15
+// relative accuracy, plenty for a closed-form baseline estimator.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement against the exact CDF via erfc.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// Mnat is Mnatsakanov's moment-recovered CDF estimator [58]: a closed-form
+// step-function approximation of the CDF from the first α moments of data
+// scaled to [0,1]. Resolution is limited to ~1/α steps, which is exactly
+// the coarseness visible in Fig. 10.
+type Mnat struct {
+	in    Input
+	alpha int
+	steps []float64 // F̂ at y = j/alpha, j = 0..alpha
+}
+
+// NewMnat returns the Mnatsakanov estimator.
+func NewMnat() *Mnat { return &Mnat{} }
+
+// Name implements Estimator.
+func (m *Mnat) Name() string { return "mnat" }
+
+// Prepare implements Estimator.
+func (m *Mnat) Prepare(in Input) error {
+	m.in = in
+	alpha := len(in.Std.Moments) - 1
+	if alpha < 1 {
+		return errors.New("estimators: mnat needs at least one moment")
+	}
+	m.alpha = alpha
+	// Moments of y = (u+1)/2 ∈ [0,1]: b_j = 2^{-j} Σ_i C(j,i) µ_i.
+	bm := make([]float64, alpha+1)
+	for j := 0; j <= alpha; j++ {
+		s := 0.0
+		cji := 1.0
+		for i := 0; i <= j; i++ {
+			s += cji * in.Std.Moments[i]
+			cji = cji * float64(j-i) / float64(i+1)
+		}
+		bm[j] = s / math.Pow(2, float64(j))
+	}
+	// F̂(j/α) = Σ_{l=0}^{j} Σ_{m=l}^{α} C(α,m) C(m,l) (-1)^{m-l} b_m.
+	// Precompute the inner weight for each l once.
+	wl := make([]float64, alpha+1)
+	for l := 0; l <= alpha; l++ {
+		s := 0.0
+		for mm := l; mm <= alpha; mm++ {
+			s += binom(alpha, mm) * binom(mm, l) * negPow(mm-l) * bm[mm]
+		}
+		wl[l] = s
+	}
+	m.steps = make([]float64, alpha+1)
+	cum := 0.0
+	for j := 0; j <= alpha; j++ {
+		cum += wl[j]
+		// Clamp: the estimator is only asymptotically monotone.
+		v := cum
+		if j > 0 && v < m.steps[j-1] {
+			v = m.steps[j-1]
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		m.steps[j] = v
+	}
+	return nil
+}
+
+// Quantile implements Estimator: invert the step CDF with interpolation.
+func (m *Mnat) Quantile(phi float64) float64 {
+	j := 0
+	for j < len(m.steps) && m.steps[j] < phi {
+		j++
+	}
+	if j >= len(m.steps) {
+		return m.in.FromU(1)
+	}
+	prev := 0.0
+	if j > 0 {
+		prev = m.steps[j-1]
+	}
+	frac := 0.5
+	if m.steps[j] > prev {
+		frac = (phi - prev) / (m.steps[j] - prev)
+	}
+	y := (float64(j-1) + frac) / float64(m.alpha)
+	return m.in.FromU(2*y - 1)
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	v := 1.0
+	for i := 1; i <= k; i++ {
+		v = v * float64(n-k+i) / float64(i)
+	}
+	return v
+}
+
+func negPow(n int) float64 {
+	if n%2 == 1 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,213 @@
+package estimators
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// lesionSetup builds the Fig. 10 style inputs: a long-tailed dataset solved
+// through log moments, and a smooth near-Gaussian dataset solved through
+// standard moments, both with k = 10.
+func lesionSetup(t *testing.T, logDomain bool) (Input, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(21, 22))
+	n := 40000
+	data := make([]float64, n)
+	sk := core.New(10)
+	for i := range data {
+		if logDomain {
+			data[i] = math.Exp(rng.NormFloat64()*1.2 + 3)
+		} else {
+			data[i] = rng.NormFloat64()
+		}
+		sk.Add(data[i])
+	}
+	in, err := NewInput(sk, logDomain, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(data)
+	return in, data
+}
+
+func epsAvg(sorted []float64, q func(float64) float64) float64 {
+	n := float64(len(sorted))
+	total := 0.0
+	for i := 0; i <= 20; i++ {
+		phi := 0.01 + 0.049*float64(i)
+		est := q(phi)
+		rank := float64(sort.SearchFloat64s(sorted, est)) / n
+		total += math.Abs(rank - phi)
+	}
+	return total / 21
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 0.99982,
+		0.975:  1.95996,
+		0.01:   -2.32635,
+		0.999:  3.09023,
+	}
+	for p, want := range cases {
+		if got := NormalQuantile(p); math.Abs(got-want) > 2e-4 {
+			t.Errorf("Φ⁻¹(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("endpoint quantiles must be infinite")
+	}
+	// Round trip against the CDF.
+	for _, p := range []float64{0.001, 0.1, 0.5, 0.9, 0.9999} {
+		x := NormalQuantile(p)
+		back := 0.5 * math.Erfc(-x/math.Sqrt2)
+		if math.Abs(back-p) > 1e-12 {
+			t.Errorf("CDF(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+}
+
+// Every estimator must prepare and produce monotone quantiles on both
+// lesion inputs; accuracy budgets follow the Fig. 10 ordering.
+func TestAllEstimatorsRun(t *testing.T) {
+	for _, logDomain := range []bool{false, true} {
+		in, sorted := lesionSetup(t, logDomain)
+		for _, est := range All() {
+			if err := est.Prepare(in); err != nil {
+				t.Errorf("%s (log=%v): Prepare: %v", est.Name(), logDomain, err)
+				continue
+			}
+			prev := math.Inf(-1)
+			for i := 1; i <= 19; i++ {
+				q := est.Quantile(float64(i) / 20)
+				if math.IsNaN(q) {
+					t.Errorf("%s: NaN quantile", est.Name())
+					break
+				}
+				if q < prev-1e-6*(1+math.Abs(prev)) {
+					t.Errorf("%s (log=%v): non-monotone quantiles at %d: %v < %v",
+						est.Name(), logDomain, i, q, prev)
+					break
+				}
+				prev = q
+			}
+			e := epsAvg(sorted, est.Quantile)
+			budget := map[string]float64{
+				"gaussian": 0.12, "mnat": 0.12, "svd": 0.08,
+				"cvx-min": 0.08, "cvx-maxent": 0.03,
+				"newton": 0.02, "bfgs": 0.02, "opt": 0.02,
+			}[est.Name()]
+			if e > budget {
+				t.Errorf("%s (log=%v): ε_avg = %.4f > %.4f", est.Name(), logDomain, e, budget)
+			}
+		}
+	}
+}
+
+// The paper's core lesion finding: maximum-entropy estimators beat the
+// non-maxent ones by a wide margin.
+func TestMaxEntBeatsAlternatives(t *testing.T) {
+	in, sorted := lesionSetup(t, true) // long-tailed / log-moment case
+	errs := map[string]float64{}
+	for _, est := range All() {
+		if err := est.Prepare(in); err != nil {
+			t.Fatalf("%s: %v", est.Name(), err)
+		}
+		errs[est.Name()] = epsAvg(sorted, est.Quantile)
+	}
+	if errs["opt"] >= errs["gaussian"] || errs["opt"] >= errs["mnat"] {
+		t.Errorf("opt (%.4f) should beat gaussian (%.4f) and mnat (%.4f)",
+			errs["opt"], errs["gaussian"], errs["mnat"])
+	}
+	// All maxent variants land on the same optimum.
+	if d := math.Abs(errs["opt"] - errs["bfgs"]); d > 0.005 {
+		t.Errorf("opt and bfgs diverge: %.4f vs %.4f", errs["opt"], errs["bfgs"])
+	}
+	if d := math.Abs(errs["opt"] - errs["newton"]); d > 0.005 {
+		t.Errorf("opt and newton diverge: %.4f vs %.4f", errs["opt"], errs["newton"])
+	}
+}
+
+func TestGaussianExactOnGaussianData(t *testing.T) {
+	in, sorted := lesionSetup(t, false)
+	g := NewGaussian()
+	if err := g.Prepare(in); err != nil {
+		t.Fatal(err)
+	}
+	// On actual Gaussian data the normal fit is nearly exact.
+	if e := epsAvg(sorted, g.Quantile); e > 0.01 {
+		t.Errorf("gaussian fit on gaussian data: ε_avg = %v", e)
+	}
+}
+
+func TestMnatStepResolution(t *testing.T) {
+	in, _ := lesionSetup(t, false)
+	m := NewMnat()
+	if err := m.Prepare(in); err != nil {
+		t.Fatal(err)
+	}
+	if m.alpha != 10 {
+		t.Errorf("alpha = %d, want 10", m.alpha)
+	}
+	for j := 1; j < len(m.steps); j++ {
+		if m.steps[j] < m.steps[j-1] {
+			t.Errorf("mnat CDF not monotone at %d", j)
+		}
+	}
+	if m.steps[len(m.steps)-1] < 0.9 {
+		t.Errorf("mnat CDF tops out at %v", m.steps[len(m.steps)-1])
+	}
+}
+
+func TestInputMapping(t *testing.T) {
+	sk := core.New(6)
+	for _, x := range []float64{1, 10, 100} {
+		sk.Add(x)
+	}
+	in, err := NewInput(sk, true, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.FromU(-1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("FromU(-1) = %v, want 1", got)
+	}
+	if got := in.FromU(1); math.Abs(got-100) > 1e-9 {
+		t.Errorf("FromU(1) = %v, want 100", got)
+	}
+	// Out-of-range clamps.
+	if got := in.FromU(-2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("FromU(-2) = %v, want clamp to 1", got)
+	}
+	// Log domain requires positive data.
+	neg := core.New(6)
+	neg.Add(-1)
+	neg.Add(5)
+	if _, err := NewInput(neg, true, 6); err == nil {
+		t.Error("log-domain input with negatives must error")
+	}
+}
+
+func TestGridQuantiler(t *testing.T) {
+	in := Input{Std: &core.Standardized{Center: 0, HalfWidth: 1,
+		Moments: []float64{1}, Cheby: []float64{1}}}
+	// Uniform density: quantiles are linear.
+	f := make([]float64, 100)
+	for i := range f {
+		f[i] = 1
+	}
+	q := newGridQuantiler(in, f)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		want := 2*phi - 1
+		if got := q.quantile(phi); math.Abs(got-want) > 0.02 {
+			t.Errorf("uniform grid quantile(%v) = %v, want %v", phi, got, want)
+		}
+	}
+	if q.quantile(0) != -1 || q.quantile(1) != 1 {
+		t.Error("grid quantiler endpoints")
+	}
+}

@@ -1,0 +1,127 @@
+// Package fft implements a radix-2 complex fast Fourier transform and the
+// DCT-I (type-I discrete cosine transform) built on top of it.
+//
+// The moments-sketch maximum-entropy solver uses the DCT-I as its "fast
+// cosine transform" (paper §4.3.1) to convert function samples on the
+// Chebyshev–Lobatto grid into Chebyshev series coefficients and back.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Transform computes the in-place forward FFT of x. len(x) must be a power
+// of two. The convention is X[k] = Σ_n x[n]·exp(-2πi·kn/N).
+func Transform(x []complex128) {
+	fftInPlace(x, false)
+}
+
+// Inverse computes the in-place inverse FFT of x (including the 1/N
+// normalization). len(x) must be a power of two.
+func Inverse(x []complex128) {
+	fftInPlace(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wm := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wm
+			}
+		}
+	}
+}
+
+// DCT1 computes the type-I DCT of samples y[0..N] (length N+1, N a power of
+// two):
+//
+//	c[k] = (2/N)·( y[0]/2 + y[N]/2·(-1)^k + Σ_{p=1}^{N-1} y[p]·cos(πkp/N) )
+//
+// With y[p] = f(cos(πp/N)) these c[k] are the coefficients of the degree-N
+// Chebyshev interpolant of f, with the convention
+//
+//	f(x) ≈ c[0]/2 + Σ_{k=1}^{N-1} c[k]·T_k(x) + c[N]/2·T_N(x).
+//
+// The transform runs in O(N log N) via a length-2N complex FFT of the even
+// extension of y.
+func DCT1(y []float64) []float64 {
+	n := len(y) - 1
+	if n <= 0 {
+		out := make([]float64, len(y))
+		copy(out, y)
+		if n == 0 {
+			out[0] = 2 * y[0] // degenerate single-sample convention: f = c0/2
+		}
+		return out
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: DCT1 length-1 = %d is not a power of two", n))
+	}
+	// Even extension: z has period 2N with z[p] = y[p] for p<=N and
+	// z[2N-p] = y[p].
+	z := make([]complex128, 2*n)
+	for p := 0; p <= n; p++ {
+		z[p] = complex(y[p], 0)
+	}
+	for p := 1; p < n; p++ {
+		z[2*n-p] = complex(y[p], 0)
+	}
+	Transform(z)
+	out := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = real(z[k]) / float64(n)
+	}
+	return out
+}
+
+// DCT1Slow is the O(N²) reference implementation of DCT1, kept for testing
+// and for tiny transforms where FFT setup overhead dominates.
+func DCT1Slow(y []float64) []float64 {
+	n := len(y) - 1
+	if n <= 0 {
+		return DCT1(y)
+	}
+	out := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		s := y[0]/2 + y[n]/2*math.Cos(math.Pi*float64(k))
+		for p := 1; p < n; p++ {
+			s += y[p] * math.Cos(math.Pi*float64(k)*float64(p)/float64(n))
+		}
+		out[k] = 2 * s / float64(n)
+	}
+	return out
+}

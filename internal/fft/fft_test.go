@@ -1,0 +1,171 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformKnown(t *testing.T) {
+	// FFT of [1,0,0,0] is all ones.
+	x := []complex128{1, 0, 0, 0}
+	Transform(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestTransformDC(t *testing.T) {
+	// FFT of constant c has X[0]=N*c, rest 0.
+	x := []complex128{2, 2, 2, 2, 2, 2, 2, 2}
+	Transform(x)
+	if cmplx.Abs(x[0]-16) > 1e-12 {
+		t.Errorf("X[0] = %v, want 16", x[0])
+	}
+	for i := 1; i < len(x); i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestTransformMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+				s += x[j] * cmplx.Exp(complex(0, ang))
+			}
+			want[k] = s
+		}
+		got := make([]complex128, n)
+		copy(got, x)
+		Transform(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Errorf("n=%d: X[%d] = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	x := make([]complex128, 128)
+	orig := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	Transform(x)
+	Inverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip [%d] = %v, want %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestTransformNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non power-of-two length")
+		}
+	}()
+	Transform(make([]complex128, 3))
+}
+
+func TestDCT1MatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		y := make([]float64, n+1)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		fast := DCT1(y)
+		slow := DCT1Slow(y)
+		for k := range fast {
+			if math.Abs(fast[k]-slow[k]) > 1e-10 {
+				t.Errorf("n=%d: DCT1[%d] = %v, slow %v", n, k, fast[k], slow[k])
+			}
+		}
+	}
+}
+
+// The DCT-I of samples of T_j on the Chebyshev-Lobatto grid should give the
+// unit coefficient vector (with the half-weight convention at the ends).
+func TestDCT1RecoversChebyshevCoefficients(t *testing.T) {
+	n := 16
+	for j := 0; j <= n; j++ {
+		y := make([]float64, n+1)
+		for p := 0; p <= n; p++ {
+			// T_j(cos θ) = cos(jθ) with θ = πp/n.
+			y[p] = math.Cos(float64(j) * math.Pi * float64(p) / float64(n))
+		}
+		c := DCT1(y)
+		for k := 0; k <= n; k++ {
+			want := 0.0
+			if k == j {
+				want = 1.0
+				if k == 0 || k == n {
+					want = 2.0 // end coefficients carry a half weight
+				}
+			}
+			if math.Abs(c[k]-want) > 1e-10 {
+				t.Errorf("T_%d: c[%d] = %v, want %v", j, k, c[k], want)
+			}
+		}
+	}
+}
+
+func TestDCT1Degenerate(t *testing.T) {
+	c := DCT1([]float64{3})
+	if len(c) != 1 || math.Abs(c[0]-6) > 1e-15 {
+		t.Errorf("DCT1 single sample = %v, want [6]", c)
+	}
+}
+
+// Property: Parseval-like energy conservation for the FFT.
+func TestParsevalQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 64
+		x := make([]complex128, n)
+		eIn := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			eIn += real(x[i]) * real(x[i])
+		}
+		Transform(x)
+		eOut := 0.0
+		for _, v := range x {
+			eOut += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(eOut/float64(n)-eIn) < 1e-8*(1+eIn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDCT1_512(b *testing.B) {
+	y := make([]float64, 513)
+	for i := range y {
+		y[i] = math.Sin(float64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DCT1(y)
+	}
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: eps_avg vs summary size on the six Table-1 datasets",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: maxent accuracy vs dataset cardinality (fails below 5 distinct values)",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Fig. 9: accuracy with vs without log moments (milan, retail, occupancy)",
+		Run:   runFig9,
+	})
+}
+
+func runFig7(cfg Config, w io.Writer) error {
+	for _, spec := range dataset.Table1() {
+		data := spec.Generate(cfg.N(min(spec.DefaultSize, 500_000)), cfg.Seed)
+		sorted := SortedCopy(data)
+		fmt.Fprintf(w, "dataset %s (%d rows)\n", spec.Name, len(data))
+		t := NewTable(w, "sketch", "param", "size(B)", "eps_avg")
+		for _, famName := range []string{"M-Sketch", "Merge12", "RandomW", "GK", "T-Digest", "Sampling", "S-Hist", "EW-Hist"} {
+			for _, p := range sizeLadder[famName] {
+				fam, err := sketch.Family(famName, p)
+				if err != nil {
+					return err
+				}
+				s := fam.New()
+				for _, v := range data {
+					s.Add(v)
+				}
+				t.Row(famName, fam.Param, s.SizeBytes(), EpsAvg(sorted, s.Quantile, spec.Integer))
+			}
+		}
+		t.Flush()
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper: M-Sketch reaches eps<=0.01 under 200B on all six; 1e-4 on exponential;")
+	fmt.Fprintln(w, "EW-Hist/S-Hist collapse on long-tailed milan and retail")
+	return nil
+}
+
+func runFig8(cfg Config, w io.Writer) error {
+	cards := []int{2, 4, 8, 16, 32, 64, 128, 512, 2048}
+	n := cfg.N(100_000)
+	t := NewTable(w, "cardinality", "M-Sketch:10", "Merge12:32", "GK:50", "RandomW:40", "note")
+	for _, card := range cards {
+		data := dataset.UniformDiscrete(card).Generate(n, cfg.Seed)
+		sorted := SortedCopy(data)
+
+		ms := core.New(10)
+		ms.AddMany(data)
+		var msErr float64
+		note := ""
+		sol, err := maxent.SolveSketch(ms, maxent.Options{})
+		if err != nil {
+			msErr = math.NaN()
+			note = "maxent failed to converge"
+		} else {
+			msErr = EpsAvg(sorted, sol.Quantile, false)
+		}
+
+		others := make([]float64, 3)
+		for i, famName := range []string{"Merge12", "GK", "RandomW"} {
+			p := map[string]int{"Merge12": 32, "GK": 50, "RandomW": 40}[famName]
+			fam, err := sketch.Family(famName, p)
+			if err != nil {
+				return err
+			}
+			s := fam.New()
+			for _, v := range data {
+				s.Add(v)
+			}
+			others[i] = EpsAvg(sorted, s.Quantile, false)
+		}
+		t.Row(card, msErr, others[0], others[1], others[2], note)
+	}
+	t.Flush()
+	fmt.Fprintln(w, "\npaper: maxent error rises as cardinality drops, failing below ~5 distinct values;")
+	fmt.Fprintln(w, "comparison sketches are unaffected by discreteness")
+	return nil
+}
+
+func runFig9(cfg Config, w io.Writer) error {
+	t := NewTable(w, "dataset", "moments", "eps(with log)", "eps(no log)")
+	for _, name := range []string{"milan", "retail", "occupancy"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return err
+		}
+		data := spec.Generate(cfg.N(min(spec.DefaultSize, 300_000)), cfg.Seed)
+		sorted := SortedCopy(data)
+		for _, k := range []int{4, 6, 8, 10} {
+			sk := core.New(k)
+			sk.AddMany(data)
+			// With log moments: the standard selection path (budget split
+			// between families).
+			withErr := math.NaN()
+			if sol, err := maxent.SolveSketch(sk, maxent.Options{}); err == nil {
+				withErr = EpsAvg(sorted, sol.Quantile, spec.Integer)
+			}
+			// Without: std moments only, same total space budget.
+			noErr := math.NaN()
+			if std, err := sk.Standardize(k); err == nil {
+				kk := k
+				if kStd, _ := sk.StableOrders(); kk > kStd {
+					kk = kStd
+				}
+				b := maxent.Basis{Primary: maxent.DomainStd, K1: kk, Std: std}
+				if sol, err := maxent.Solve(b, maxent.Options{}); err == nil {
+					noErr = EpsAvg(sorted, sol.Quantile, spec.Integer)
+				}
+			}
+			t.Row(name, k, withErr, noErr)
+		}
+	}
+	t.Flush()
+	fmt.Fprintln(w, "\npaper: log moments cut milan/retail error from >0.15 to <0.015; occupancy unchanged")
+	return nil
+}

@@ -1,0 +1,402 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/dataset"
+	"repro/internal/macrobase"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Fig. 11: Druid-like cube end-to-end query (sum vs M-Sketch@10 vs S-Hist)",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Fig. 12: MacroBase query runtime with cascade stages and Merge12 baselines",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: cascade threshold-query throughput, per-stage cost, fraction hit",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: sliding-window query via turnstile updates vs re-merging (Merge12)",
+		Run:   runFig14,
+	})
+}
+
+// buildMilanCube ingests milan-like data into a (grid, country, hour) cube.
+func buildMilanCube(cfg Config, factory func() sketch.Summary, rows int) (*cube.Cube, []float64, error) {
+	spec, err := dataset.ByName("milan")
+	if err != nil {
+		return nil, nil, err
+	}
+	data := spec.Generate(rows, cfg.Seed)
+	schema := cube.Schema{Dims: []string{"grid", "country", "hour"}, Card: []int{1000, 20, 24}}
+	if cfg.Quick {
+		schema.Card = []int{50, 10, 8}
+	}
+	c, err := cube.New(schema, factory)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 99))
+	for _, v := range data {
+		c.Ingest([]int{rng.IntN(schema.Card[0]), rng.IntN(schema.Card[1]), rng.IntN(schema.Card[2])}, v)
+	}
+	return c, data, nil
+}
+
+func runFig11(cfg Config, w io.Writer) error {
+	rows := cfg.N(2_000_000)
+	t := NewTable(w, "aggregator", "cells", "merges", "query(ms)", "p99 estimate")
+	// Native sum baseline (cube cells built once with moments sketches, the
+	// sum path reads the same cells).
+	type agg struct {
+		name    string
+		factory func() sketch.Summary
+	}
+	aggs := []agg{
+		{"M-Sketch@10", func() sketch.Summary { return sketch.NewMSketch(10) }},
+		{"S-Hist@10", func() sketch.Summary { return sketch.NewSHist(10) }},
+		{"S-Hist@100", func() sketch.Summary { return sketch.NewSHist(100) }},
+		{"S-Hist@1000", func() sketch.Summary { return sketch.NewSHist(1000) }},
+	}
+	for i, a := range aggs {
+		c, _, err := buildMilanCube(cfg, a.factory, rows)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			start := time.Now()
+			sum, count := c.QuerySum()
+			elapsed := time.Since(start)
+			t.Row("sum (native)", c.NumCells(), c.NumCells(),
+				float64(elapsed.Microseconds())/1000, sum/count)
+		}
+		start := time.Now()
+		root, merges, err := c.Query()
+		if err != nil {
+			return err
+		}
+		q := root.Quantile(0.99)
+		elapsed := time.Since(start)
+		t.Row(a.name, c.NumCells(), merges, float64(elapsed.Microseconds())/1000, q)
+	}
+	t.Flush()
+	fmt.Fprintln(w, "\npaper: on 10M cells M-Sketch 1.7s vs S-Hist@100 12.1s (7x) vs sum 0.27s;")
+	fmt.Fprintln(w, "S-Hist@10 is faster than @100 but its milan accuracy is far worse (Fig. 7)")
+	return nil
+}
+
+// buildMacrobaseEngine creates the §7.2.1 workload: groups of cells where a
+// few groups have inflated tails.
+func buildMacrobaseEngine(cfg Config, factory func() sketch.Summary) (*macrobase.Engine, error) {
+	spec, err := dataset.ByName("milan")
+	if err != nil {
+		return nil, err
+	}
+	nGroups := 400
+	cellsPer := 8
+	cellSize := 200
+	if cfg.Quick {
+		nGroups, cellsPer = 60, 4
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 7))
+	gen := spec.Gen
+	eng := &macrobase.Engine{Factory: factory}
+	for g := 0; g < nGroups; g++ {
+		hot := g == 0 || g == nGroups/2
+		// Heterogeneous group scales put a spectrum of subgroup quantiles
+		// around the global threshold, as in the real milan cube: most
+		// groups resolve in the cheap bound stages, borderline ones need
+		// progressively tighter estimates (the Fig. 13c gradient).
+		scale := math.Exp(rng.NormFloat64() * 0.8)
+		var cells []sketch.Summary
+		var raw []float64
+		for c := 0; c < cellsPer; c++ {
+			cell := factory()
+			for i := 0; i < cellSize; i++ {
+				v := gen(rng) * scale
+				if hot && rng.Float64() < 0.5 {
+					v = 6000 + rng.Float64()*2000
+				}
+				cell.Add(v)
+				raw = append(raw, v)
+			}
+			cells = append(cells, cell)
+		}
+		// raw is declared per-iteration, so the closure below captures this
+		// group's own slice.
+		eng.Groups = append(eng.Groups, macrobase.Group{
+			Name:  fmt.Sprintf("g%03d", g),
+			Cells: cells,
+			CountAboveFn: func(t float64) float64 {
+				n := 0.0
+				for _, v := range raw {
+					if v > t {
+						n++
+					}
+				}
+				return n
+			},
+		})
+	}
+	return eng, nil
+}
+
+func runFig12(cfg Config, w io.Writer) error {
+	msFactory := func() sketch.Summary { return sketch.NewMSketch(10) }
+	m12Factory := func() sketch.Summary { return sketch.NewMerge12(32) }
+
+	t := NewTable(w, "configuration", "merge(ms)", "est(ms)", "total(ms)", "matches")
+	runOne := func(name string, factory func() sketch.Summary, mode macrobase.Mode, cas cascade.Config) error {
+		eng, err := buildMacrobaseEngine(cfg, factory)
+		if err != nil {
+			return err
+		}
+		rep, err := eng.Run(mode, macrobase.Options{Cascade: cas})
+		if err != nil {
+			return err
+		}
+		t.Row(name, float64(rep.MergeTime.Microseconds())/1000,
+			float64(rep.EstTime.Microseconds())/1000,
+			float64((rep.MergeTime+rep.EstTime).Microseconds())/1000,
+			len(rep.Matches))
+		return nil
+	}
+	if err := runOne("Baseline (maxent only)", msFactory, macrobase.ModeCascade, cascade.Config{}); err != nil {
+		return err
+	}
+	if err := runOne("+Simple", msFactory, macrobase.ModeCascade, cascade.Config{UseSimple: true}); err != nil {
+		return err
+	}
+	if err := runOne("+Markov", msFactory, macrobase.ModeCascade, cascade.Config{UseSimple: true, UseMarkov: true}); err != nil {
+		return err
+	}
+	if err := runOne("+RTT (full cascade)", msFactory, macrobase.ModeCascade, cascade.Full()); err != nil {
+		return err
+	}
+	if err := runOne("Merge12a (sketch merge)", m12Factory, macrobase.ModeDirect, cascade.Config{}); err != nil {
+		return err
+	}
+	if err := runOne("Merge12b (exact counts)", m12Factory, macrobase.ModeCount, cascade.Config{}); err != nil {
+		return err
+	}
+	t.Flush()
+	fmt.Fprintln(w, "\npaper: 42.4s baseline -> 2.47s with full cascade; 7.9x under Merge12a,")
+	fmt.Fprintln(w, "3.7x under the optimistic Merge12b")
+	return nil
+}
+
+func runFig13(cfg Config, w io.Writer) error {
+	// Build one pool of merged group sketches, then measure threshold
+	// throughput under growing cascades (13a), isolated stage cost (13b)
+	// and fraction-hit (13c).
+	eng, err := buildMacrobaseEngine(cfg, func() sketch.Summary { return sketch.NewMSketch(10) })
+	if err != nil {
+		return err
+	}
+	var groups []*core.Sketch
+	global := core.New(10)
+	for _, g := range eng.Groups {
+		agg := core.New(10)
+		for _, cell := range g.Cells {
+			ms := cell.(*sketch.MSketch)
+			if err := agg.Merge(ms.S.Raw()); err != nil {
+				return err
+			}
+		}
+		groups = append(groups, agg)
+		if err := global.Merge(agg); err != nil {
+			return err
+		}
+	}
+	// The global mixture (base data + concentrated spike mass) can sit on
+	// the moment-space boundary; use the summary wrapper, which falls back
+	// to guaranteed bounds when the solver declines.
+	globalWrap := sketch.NewMSketch(global.K)
+	if err := globalWrap.S.Raw().Merge(global); err != nil {
+		return err
+	}
+	t99 := globalWrap.Quantile(0.99)
+	const subPhi = 0.7
+
+	fmt.Fprintf(w, "(a) threshold-query throughput under growing cascades (%d groups, t=p99)\n", len(groups))
+	ta := NewTable(w, "cascade", "queries/s")
+	configs := []struct {
+		name string
+		cfg  cascade.Config
+	}{
+		{"Baseline", cascade.Config{}},
+		{"+Simple", cascade.Config{UseSimple: true}},
+		{"+Markov", cascade.Config{UseSimple: true, UseMarkov: true}},
+		{"+RTT", cascade.Full()},
+	}
+	var fullStats cascade.Stats
+	for _, c := range configs {
+		var stats cascade.Stats
+		start := time.Now()
+		for _, g := range groups {
+			// Solver failures produce bound-fallback decisions; don't abort.
+			_, _ = cascade.Threshold(g, t99, subPhi, c.cfg, &stats)
+		}
+		elapsed := time.Since(start)
+		ta.Row(c.name, float64(len(groups))/elapsed.Seconds())
+		if c.name == "+RTT" {
+			fullStats = stats
+		}
+	}
+	ta.Flush()
+
+	fmt.Fprintln(w, "\n(b) isolated per-stage throughput (stage computation only, no fallthrough)")
+	tb := NewTable(w, "stage", "checks/s")
+	reps := 200
+	if cfg.Quick {
+		reps = 50
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, g := range groups {
+			_ = t99 >= g.Min && t99 <= g.Max
+		}
+	}
+	tb.Row("Simple", float64(reps*len(groups))/time.Since(start).Seconds())
+	start = time.Now()
+	for _, g := range groups {
+		_ = bounds.Markov(g, t99)
+	}
+	tb.Row("Markov", float64(len(groups))/time.Since(start).Seconds())
+	start = time.Now()
+	for _, g := range groups {
+		_ = bounds.RTT(g, t99)
+	}
+	tb.Row("RTT", float64(len(groups))/time.Since(start).Seconds())
+	start = time.Now()
+	for _, g := range groups {
+		if sol, err := maxent.SolveSketch(g, maxent.Options{}); err == nil {
+			_ = sol.Quantile(subPhi)
+		}
+	}
+	tb.Row("MaxEnt", float64(len(groups))/time.Since(start).Seconds())
+	tb.Flush()
+
+	fmt.Fprintln(w, "\n(c) fraction of queries reaching each stage (full cascade)")
+	tc := NewTable(w, "stage", "fraction hit")
+	fh := fullStats.FractionHit()
+	for s := cascade.StageSimple; s < cascade.NumStages; s++ {
+		tc.Row(s.String(), fh[s])
+	}
+	tc.Flush()
+	fmt.Fprintln(w, "\npaper: 259 q/s baseline -> 67.8k q/s full cascade (>250x); fractions 1.0 /")
+	fmt.Fprintln(w, "0.14 / 0.019 / 0.007")
+	return nil
+}
+
+func runFig14(cfg Config, w io.Writer) error {
+	spec, err := dataset.ByName("milan")
+	if err != nil {
+		return err
+	}
+	nPanes := 4320 // one month at 10-minute granularity
+	paneSize := 400
+	if cfg.Quick {
+		nPanes, paneSize = 300, 150
+	}
+	const width = 24 // 4-hour windows
+	const phi = 0.99
+	const thresh = 1500.0
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 3))
+	gen := spec.Gen
+	spikePanes := map[int]bool{}
+	for _, base := range []int{nPanes / 3, 2 * nPanes / 3} {
+		for p := base; p < base+12 && p < nPanes; p++ {
+			spikePanes[p] = true
+		}
+	}
+	msPanes := make([]*core.Sketch, nPanes)
+	m12Panes := make([]sketch.Summary, nPanes)
+	for p := 0; p < nPanes; p++ {
+		msPanes[p] = core.New(10)
+		m12 := sketch.NewMerge12(32)
+		for i := 0; i < paneSize; i++ {
+			v := gen(rng)
+			if spikePanes[p] && rng.Float64() < 0.1 {
+				// Dispersed spike values: in the real milan data the global
+				// max (7936) exceeds the spike, so the spike is not a point
+				// mass at the domain boundary. Our scaled-down panes rarely
+				// draw values above 2000, so a constant spike would sit
+				// exactly at xmax and stall the solver — disperse it the way
+				// the surrounding data does.
+				v = 2000 + rng.Float64()*200
+			}
+			msPanes[p].Add(v)
+			m12.Add(v)
+		}
+		m12Panes[p] = m12
+	}
+
+	t := NewTable(w, "configuration", "merge(ms)", "est(ms)", "total(ms)", "hot windows")
+	run := func(name string, cas cascade.Config) error {
+		res, err := window.ScanMoments(msPanes, width, thresh, phi, cas, maxent.Options{})
+		if err != nil {
+			return err
+		}
+		t.Row(name, float64(res.MergeTime.Microseconds())/1000,
+			float64(res.EstTime.Microseconds())/1000,
+			float64((res.MergeTime+res.EstTime).Microseconds())/1000, len(res.Hot))
+		return nil
+	}
+	if err := run("Baseline (maxent only)", cascade.Config{}); err != nil {
+		return err
+	}
+	if err := run("+Simple", cascade.Config{UseSimple: true}); err != nil {
+		return err
+	}
+	if err := run("+Markov", cascade.Config{UseSimple: true, UseMarkov: true}); err != nil {
+		return err
+	}
+	if err := run("+RTT (full cascade)", cascade.Full()); err != nil {
+		return err
+	}
+	res, err := window.ScanSummaries(m12Panes, width, thresh, phi,
+		func() sketch.Summary { return sketch.NewMerge12(32) })
+	if err != nil {
+		return err
+	}
+	t.Row("Merge12 (re-merge)", float64(res.MergeTime.Microseconds())/1000,
+		float64(res.EstTime.Microseconds())/1000,
+		float64((res.MergeTime+res.EstTime).Microseconds())/1000, len(res.Hot))
+	t.Flush()
+	fmt.Fprintln(w, "\npaper: full cascade 0.04s vs Merge12 0.48s (13x); turnstile subtraction")
+	fmt.Fprintln(w, "makes merge cost per slide O(1) in window width")
+	return nil
+}
+
+// TrueQuantile returns the exact φ-quantile of data (sorting a copy) —
+// the ground-truth helper used by experiments and tests.
+func TrueQuantile(data []float64, phi float64) float64 {
+	s := SortedCopy(data)
+	idx := int(phi * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

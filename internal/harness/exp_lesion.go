@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/estimators"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Fig. 10: lesion study of quantile estimators (error and estimation time, k=10)",
+		Run:   runFig10,
+	})
+}
+
+func runFig10(cfg Config, w io.Writer) error {
+	// As in §6.3: milan through log moments only, hepmass through standard
+	// moments only, k = 10 each.
+	cases := []struct {
+		ds  string
+		log bool
+	}{{"milan", true}, {"hepmass", false}}
+	for _, c := range cases {
+		spec, err := dataset.ByName(c.ds)
+		if err != nil {
+			return err
+		}
+		data := spec.Generate(cfg.N(min(spec.DefaultSize, 400_000)), cfg.Seed)
+		sorted := SortedCopy(data)
+		sk := core.New(10)
+		sk.AddMany(data)
+		in, err := estimators.NewInput(sk, c.log, 10)
+		if err != nil {
+			return err
+		}
+		dom := "std"
+		if c.log {
+			dom = "log"
+		}
+		fmt.Fprintf(w, "dataset %s (%s moments, k=10, %d rows)\n", c.ds, dom, len(data))
+		t := NewTable(w, "estimator", "eps_avg(%)", "t_est(ms)")
+		for _, est := range estimators.All() {
+			start := time.Now()
+			err := est.Prepare(in)
+			// Include one quantile evaluation in estimation time, as a
+			// query would.
+			var e float64
+			if err != nil {
+				e = math.NaN()
+			} else {
+				_ = est.Quantile(0.5)
+			}
+			elapsed := time.Since(start)
+			if err == nil {
+				e = EpsAvg(sorted, est.Quantile, spec.Integer)
+			}
+			t.Row(est.Name(), e*100, float64(elapsed.Microseconds())/1000)
+		}
+		t.Flush()
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper: maxent estimators >=5x more accurate than gaussian/mnat/svd/cvx-min;")
+	fmt.Fprintln(w, "opt ~200x faster than generic cvx-maxent and faster than naive newton and bfgs")
+	return nil
+}

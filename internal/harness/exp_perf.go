@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sketch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Fig. 3: total query time at eps_avg<=0.01 parameters (milan, hepmass)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Fig. 4: per-merge latency vs summary size (milan, hepmass, exponential)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: quantile estimation time vs summary size",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: query time vs number of merged cells (crossover ~1e4)",
+		Run:   runFig6,
+	})
+}
+
+// fig3Params mirrors Table 2: the per-dataset parameters that reach 1%.
+func fig3Params(ds string) map[string]int {
+	if ds == "hepmass" {
+		return map[string]int{
+			"M-Sketch": 3, "Merge12": 32, "RandomW": 40, "GK": 40,
+			"T-Digest": 50, "Sampling": 1000, "S-Hist": 100, "EW-Hist": 15,
+		}
+	}
+	return map[string]int{ // milan (S-Hist/EW-Hist cannot reach 1%: paper uses 100)
+		"M-Sketch": 10, "Merge12": 32, "RandomW": 40, "GK": 60,
+		"T-Digest": 200, "Sampling": 1000, "S-Hist": 100, "EW-Hist": 100,
+	}
+}
+
+func runFig3(cfg Config, w io.Writer) error {
+	const cellSize = 200
+	for _, name := range []string{"milan", "hepmass"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return err
+		}
+		data := spec.Generate(cfg.N(spec.DefaultSize), cfg.Seed)
+		fmt.Fprintf(w, "dataset %s: %d cells of %d values\n", name, (len(data)+cellSize-1)/cellSize, cellSize)
+		t := NewTable(w, "sketch", "param", "merge(ms)", "est(ms)", "total(ms)", "eps_avg")
+		sorted := SortedCopy(data)
+		for _, fam := range sketch.Families(fig3Params(name)) {
+			cells := BuildCells(data, cellSize, fam.New)
+			root, mergeTime, err := MergeAll(cells, fam.New)
+			if err != nil {
+				return err
+			}
+			estStart := time.Now()
+			_ = root.Quantile(0.99)
+			estTime := time.Since(estStart)
+			e := EpsAvg(sorted, root.Quantile, spec.Integer)
+			t.Row(fam.Name, fam.Param,
+				float64(mergeTime.Microseconds())/1000,
+				float64(estTime.Microseconds())/1000,
+				float64((mergeTime+estTime).Microseconds())/1000, e)
+		}
+		t.Flush()
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper: M-Sketch 22.6ms vs RandomW 337ms on milan(406k cells); 15-50x gap")
+	return nil
+}
+
+// sizeLadder gives the per-family size sweep used by Figs. 4, 5, 7.
+var sizeLadder = map[string][]int{
+	"M-Sketch": {2, 4, 6, 8, 10, 14},
+	"Merge12":  {8, 16, 32, 64, 128, 256},
+	"RandomW":  {10, 20, 40, 80, 160, 320},
+	"GK":       {10, 20, 40, 80, 160, 320},
+	"T-Digest": {10, 25, 50, 100, 200, 400},
+	"Sampling": {16, 64, 250, 1000, 4000},
+	"S-Hist":   {10, 30, 100, 300, 1000},
+	"EW-Hist":  {10, 30, 100, 300, 1000},
+}
+
+func runFig4(cfg Config, w io.Writer) error {
+	return runMergeLatency(cfg, w, 200, []string{"milan", "hepmass", "exponential"},
+		"paper: M-Sketch <50ns throughout; Merge12/Sampling microseconds at comparable accuracy")
+}
+
+// runMergeLatency measures ns/merge for each family and size.
+func runMergeLatency(cfg Config, w io.Writer, cellSize int, datasets []string, note string) error {
+	for _, name := range datasets {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return err
+		}
+		n := cfg.N(min(spec.DefaultSize, 400_000))
+		if n < cellSize*64 {
+			n = cellSize * 64
+		}
+		data := spec.Generate(n, cfg.Seed)
+		fmt.Fprintf(w, "dataset %s: cells of %d\n", name, cellSize)
+		t := NewTable(w, "sketch", "param", "size(B)", "ns/merge")
+		for _, famName := range []string{"M-Sketch", "Merge12", "RandomW", "GK", "T-Digest", "Sampling", "S-Hist", "EW-Hist"} {
+			for _, p := range sizeLadder[famName] {
+				fam, err := sketch.Family(famName, p)
+				if err != nil {
+					return err
+				}
+				cells := BuildCells(data, cellSize, fam.New)
+				root, mergeTime, err := MergeAll(cells, fam.New)
+				if err != nil {
+					return err
+				}
+				t.Row(famName, fam.Param, root.SizeBytes(),
+					float64(mergeTime.Nanoseconds())/float64(len(cells)))
+			}
+		}
+		t.Flush()
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, note)
+	return nil
+}
+
+func runFig5(cfg Config, w io.Writer) error {
+	const cellSize = 200
+	for _, name := range []string{"milan", "hepmass", "exponential"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return err
+		}
+		data := spec.Generate(cfg.N(min(spec.DefaultSize, 200_000)), cfg.Seed)
+		fmt.Fprintf(w, "dataset %s\n", name)
+		t := NewTable(w, "sketch", "param", "size(B)", "est(us)")
+		for _, famName := range []string{"M-Sketch", "Merge12", "RandomW", "GK", "T-Digest", "Sampling", "S-Hist", "EW-Hist"} {
+			for _, p := range sizeLadder[famName] {
+				fam, err := sketch.Family(famName, p)
+				if err != nil {
+					return err
+				}
+				cells := BuildCells(data, cellSize, fam.New)
+				root, _, err := MergeAll(cells, fam.New)
+				if err != nil {
+					return err
+				}
+				// Time repeated fresh estimations (the moments sketch caches
+				// solutions, so rebuild via re-merge of the root clone).
+				reps := 5
+				if cfg.Quick {
+					reps = 2
+				}
+				var total time.Duration
+				for r := 0; r < reps; r++ {
+					fresh := fam.New()
+					if err := fresh.Merge(root); err != nil {
+						return err
+					}
+					start := time.Now()
+					_ = fresh.Quantile(0.99)
+					total += time.Since(start)
+				}
+				t.Row(famName, fam.Param, root.SizeBytes(),
+					float64(total.Microseconds())/float64(reps))
+			}
+		}
+		t.Flush()
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper: M-Sketch ~1-3ms estimation (slowest); others microseconds")
+	return nil
+}
+
+func runFig6(cfg Config, w io.Writer) error {
+	const cellSize = 200
+	spec, _ := dataset.ByName("milan")
+	counts := []int{100, 1000, 10_000, 100_000}
+	if cfg.Quick {
+		counts = []int{100, 1000, 5000}
+	}
+	maxCells := counts[len(counts)-1]
+	data := spec.Generate(maxCells*cellSize, cfg.Seed)
+	params := map[string]int{"M-Sketch": 10, "Merge12": 32, "RandomW": 40}
+	fmt.Fprintln(w, "total query time (ms) vs number of merged cells, milan-like data")
+	t := NewTable(w, "cells", "M-Sketch", "Merge12", "RandomW")
+	type rowT struct{ vals [3]float64 }
+	rows := map[int]*rowT{}
+	for i, famName := range []string{"M-Sketch", "Merge12", "RandomW"} {
+		fam, err := sketch.Family(famName, params[famName])
+		if err != nil {
+			return err
+		}
+		cells := BuildCells(data, cellSize, fam.New)
+		for _, nm := range counts {
+			root, mergeTime, err := MergeAll(cells[:nm], fam.New)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			_ = root.Quantile(0.99)
+			est := time.Since(start)
+			if rows[nm] == nil {
+				rows[nm] = &rowT{}
+			}
+			rows[nm].vals[i] = float64((mergeTime + est).Microseconds()) / 1000
+		}
+	}
+	for _, nm := range counts {
+		r := rows[nm]
+		t.Row(nm, r.vals[0], r.vals[1], r.vals[2])
+	}
+	t.Flush()
+	fmt.Fprintln(w, "\npaper: estimation dominates M-Sketch below ~100 cells; merges dominate")
+	fmt.Fprintln(w, "beyond ~1e4 cells where M-Sketch wins decisively")
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

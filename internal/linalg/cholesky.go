@@ -1,0 +1,100 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle, full n*n storage
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read. It returns ErrSingular if a pivot is not
+// strictly positive (a is singular or indefinite to working precision).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	copy(l, a.Data)
+	for j := 0; j < n; j++ {
+		d := l[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l[j*n+k] * l[j*n+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := l[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			l[i*n+j] = s / d
+		}
+	}
+	// Zero the strict upper triangle so the factor is clean.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve solves A x = b using the factorization. The result is written into a
+// new slice.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	n := c.n
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i*n+k] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	// Back solve Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * x[k]
+		}
+		x[i] = s / c.l[i*n+i]
+	}
+	return x
+}
+
+// SolveSPD solves A x = b for symmetric positive definite A, adding a ridge
+// term ridge*I before factoring if the bare factorization fails. It retries
+// with geometrically increasing ridge up to maxTries times. This is the
+// Newton-step workhorse: near-singular Hessians get regularized rather than
+// aborting the solve.
+func SolveSPD(a *Dense, b []float64, ridge float64, maxTries int) ([]float64, error) {
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	work := a.Clone()
+	for try := 0; try < maxTries; try++ {
+		ch, err := NewCholesky(work)
+		if err == nil {
+			return ch.Solve(b), nil
+		}
+		// Add (more) ridge and retry.
+		scale := ridge * math.Pow(10, float64(try))
+		copy(work.Data, a.Data)
+		for i := 0; i < work.Rows; i++ {
+			work.Data[i*work.Cols+i] += scale * (1 + math.Abs(a.At(i, i)))
+		}
+	}
+	return nil, ErrSingular
+}

@@ -1,0 +1,405 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDenseAtSet(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, -4.5)
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := m.At(1, 2); got != -4.5 {
+		t.Errorf("At(1,2) = %v, want -4.5", got)
+	}
+	if got := m.At(0, 1); got != 0 {
+		t.Errorf("At(0,1) = %v, want 0", got)
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("NewDenseFrom layout wrong: %v", m.Data)
+	}
+}
+
+func TestNewDenseFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged rows")
+		}
+	}()
+	NewDenseFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", y)
+	}
+}
+
+func TestTMulVec(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.TMulVec([]float64{1, 2}, nil)
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("TMulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	v := []float64{1e200, 1e200}
+	got := Norm2(v)
+	want := 1e200 * math.Sqrt2
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("Norm2 overflow-safe = %v, want %v", got, want)
+	}
+	if Norm2(nil) != 0 {
+		t.Error("Norm2(nil) != 0")
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{-3, 2, 1}); got != 3 {
+		t.Errorf("NormInf = %v, want 3", got)
+	}
+}
+
+func TestDotAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Errorf("Dot = %v, want 32", Dot(a, b))
+	}
+	AXPY(2, a, b)
+	if b[0] != 6 || b[2] != 12 {
+		t.Errorf("AXPY result = %v", b)
+	}
+}
+
+// randomSPD builds a random symmetric positive definite matrix A = BᵀB + I.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	b := NewDense(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				s += 1
+			}
+			a.Set(i, j, s)
+		}
+	}
+	return a
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(12)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x, nil)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		got := ch.Solve(b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				t.Fatalf("trial %d: solve[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 0}, {0, -1}})
+	if _, err := NewCholesky(a); err == nil {
+		t.Error("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestSolveSPDRidge(t *testing.T) {
+	// Singular PSD matrix: ridge retry should still produce a finite solve.
+	a := NewDenseFrom([][]float64{{1, 1}, {1, 1}})
+	x, err := SolveSPD(a, []float64{2, 2}, 1e-10, 8)
+	if err != nil {
+		t.Fatalf("SolveSPD with ridge failed: %v", err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("SolveSPD returned non-finite %v", x)
+		}
+	}
+	// The regularized solution should still nearly satisfy Ax≈b.
+	b := a.MulVec(x, nil)
+	if !almostEq(b[0], 2, 1e-4) {
+		t.Errorf("ridge solution residual too large: %v", b)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(10)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps the random matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x, nil)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("Solve failed: %v", err)
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				t.Fatalf("trial %d: LU solve[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected error for singular matrix")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 3}, {6, 3}})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-12) {
+		t.Errorf("Det = %v, want -6", f.Det())
+	}
+}
+
+func TestSolveVandermonde(t *testing.T) {
+	// Recover known weights: measure with atoms at -0.5, 0, 0.75 and
+	// weights 0.2, 0.3, 0.5. Moments mu_i = sum w_j x_j^i.
+	nodes := []float64{-0.5, 0, 0.75}
+	w := []float64{0.2, 0.3, 0.5}
+	mu := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		for j, x := range nodes {
+			mu[i] += w[j] * math.Pow(x, float64(i))
+		}
+	}
+	got, err := SolveVandermonde(nodes, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if !almostEq(got[i], w[i], 1e-10) {
+			t.Errorf("weight[%d] = %v, want %v", i, got[i], w[i])
+		}
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewDenseFrom([][]float64{{3, 0}, {0, 1}})
+	eig, v := SymEigen(a, true)
+	if !almostEq(eig[0], 1, 1e-12) || !almostEq(eig[1], 3, 1e-12) {
+		t.Errorf("eigenvalues = %v, want [1 3]", eig)
+	}
+	if v == nil {
+		t.Fatal("expected eigenvectors")
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewDenseFrom([][]float64{{2, 1}, {1, 2}})
+	eig, _ := SymEigen(a, false)
+	if !almostEq(eig[0], 1, 1e-12) || !almostEq(eig[1], 3, 1e-12) {
+		t.Errorf("eigenvalues = %v, want [1 3]", eig)
+	}
+}
+
+// Property: eigen-decomposition reconstructs the matrix.
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(10)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, v := SymEigen(a, true)
+		// Reconstruct V diag(eig) Vᵀ.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += v.At(i, k) * eig[k] * v.At(j, k)
+				}
+				if !almostEq(s, a.At(i, j), 1e-8) {
+					t.Fatalf("trial %d: reconstruction[%d][%d] = %v, want %v", trial, i, j, s, a.At(i, j))
+				}
+			}
+		}
+		// Orthonormality of eigenvectors.
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := c1; c2 < n; c2++ {
+				s := 0.0
+				for r := 0; r < n; r++ {
+					s += v.At(r, c1) * v.At(r, c2)
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if !almostEq(s, want, 1e-8) {
+					t.Fatalf("trial %d: VᵀV[%d][%d] = %v, want %v", trial, c1, c2, s, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCond2Sym(t *testing.T) {
+	a := NewDenseFrom([][]float64{{100, 0}, {0, 1}})
+	if c := Cond2Sym(a); !almostEq(c, 100, 1e-10) {
+		t.Errorf("Cond2Sym = %v, want 100", c)
+	}
+	sing := NewDenseFrom([][]float64{{1, 1}, {1, 1}})
+	if c := Cond2Sym(sing); !math.IsInf(c, 1) && c < 1e12 {
+		t.Errorf("Cond2Sym of singular = %v, want huge", c)
+	}
+}
+
+func TestPseudoInverseSym(t *testing.T) {
+	// Full-rank: pseudo-inverse equals inverse.
+	a := NewDenseFrom([][]float64{{2, 0}, {0, 4}})
+	p := PseudoInverseSym(a, 1e-12)
+	if !almostEq(p.At(0, 0), 0.5, 1e-10) || !almostEq(p.At(1, 1), 0.25, 1e-10) {
+		t.Errorf("pseudo-inverse = %v", p.Data)
+	}
+	// Rank-deficient: A A⁺ A = A.
+	s := NewDenseFrom([][]float64{{1, 1}, {1, 1}})
+	ps := PseudoInverseSym(s, 1e-10)
+	r := Mul(Mul(s, ps), s)
+	for i := range r.Data {
+		if !almostEq(r.Data[i], s.Data[i], 1e-8) {
+			t.Errorf("A A+ A != A: %v vs %v", r.Data, s.Data)
+		}
+	}
+}
+
+// quick.Check property: Dot is symmetric and linear in the first argument.
+func TestDotPropertiesQuick(t *testing.T) {
+	f := func(a, b [4]float64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		as, bs := a[:], b[:]
+		for _, v := range append(append([]float64{}, as...), bs...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		if math.Abs(alpha) > 1e50 {
+			return true
+		}
+		sym := almostEq(Dot(as, bs), Dot(bs, as), 1e-12)
+		scaled := make([]float64, 4)
+		for i := range scaled {
+			scaled[i] = alpha * as[i]
+		}
+		lin := almostEq(Dot(scaled, bs), alpha*Dot(as, bs), 1e-9)
+		return sym && lin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: LU solve then multiply recovers b for diagonally
+// dominant matrices.
+func TestLURoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		n := 2 + int(seed%6)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(2*n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		back := a.MulVec(x, nil)
+		for i := range b {
+			if !almostEq(back[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

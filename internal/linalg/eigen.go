@@ -1,0 +1,176 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigenvalues (ascending) and, when wantVecs is true,
+// the orthonormal eigenvectors of a symmetric matrix using the cyclic Jacobi
+// method. Only the lower triangle of a is read. Jacobi is chosen for its
+// robustness and the high relative accuracy of small eigenvalues — exactly
+// what condition-number estimation needs.
+//
+// The returned eigenvector matrix V has eigenvectors as columns:
+// A = V diag(λ) Vᵀ.
+func SymEigen(a *Dense, wantVecs bool) (eig []float64, vecs *Dense) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymEigen of non-square matrix")
+	}
+	n := a.Rows
+	// Work on a symmetrized copy.
+	w := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.At(i, j)
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+	var v *Dense
+	if wantVecs {
+		v = NewDense(n, n)
+		for i := 0; i < n; i++ {
+			v.Set(i, i, 1)
+		}
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-300 {
+			break
+		}
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				scale := math.Abs(app) + math.Abs(aqq)
+				if math.Abs(apq) <= 1e-17*scale || apq == 0 {
+					continue
+				}
+				converged = false
+				// Classic Jacobi rotation.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation J(p,q,θ)ᵀ W J(p,q,θ).
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				if wantVecs {
+					for k := 0; k < n; k++ {
+						vkp := v.At(k, p)
+						vkq := v.At(k, q)
+						v.Set(k, p, c*vkp-s*vkq)
+						v.Set(k, q, s*vkp+c*vkq)
+					}
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	eig = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = w.At(i, i)
+	}
+	if !wantVecs {
+		sort.Float64s(eig)
+		return eig, nil
+	}
+	// Sort eigenpairs ascending by eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return eig[idx[a]] < eig[idx[b]] })
+	sortedEig := make([]float64, n)
+	sortedV := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedEig[newCol] = eig[oldCol]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedEig, sortedV
+}
+
+// Cond2Sym returns the 2-norm condition number |λ|max/|λ|min of a symmetric
+// matrix. It returns +Inf when the smallest eigenvalue magnitude underflows.
+func Cond2Sym(a *Dense) float64 {
+	eig, _ := SymEigen(a, false)
+	if len(eig) == 0 {
+		return 1
+	}
+	mn, mx := math.Inf(1), 0.0
+	for _, l := range eig {
+		al := math.Abs(l)
+		if al < mn {
+			mn = al
+		}
+		if al > mx {
+			mx = al
+		}
+	}
+	if mn == 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
+}
+
+// PseudoInverseSym returns the Moore-Penrose pseudo-inverse of a symmetric
+// matrix, dropping eigenvalues below rcond*|λ|max. Used to project onto
+// affine moment-constraint sets in the discretized lesion estimators.
+func PseudoInverseSym(a *Dense, rcond float64) *Dense {
+	eig, v := SymEigen(a, true)
+	n := a.Rows
+	mx := 0.0
+	for _, l := range eig {
+		if al := math.Abs(l); al > mx {
+			mx = al
+		}
+	}
+	cut := rcond * mx
+	out := NewDense(n, n)
+	for k := 0; k < n; k++ {
+		if math.Abs(eig[k]) <= cut {
+			continue
+		}
+		inv := 1 / eig[k]
+		for i := 0; i < n; i++ {
+			vik := v.At(i, k)
+			if vik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += inv * vik * v.At(j, k)
+			}
+		}
+	}
+	return out
+}

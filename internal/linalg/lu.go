@@ -1,0 +1,124 @@
+package linalg
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting: P A = L U.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// NewLU factors a general square matrix with partial pivoting. It returns
+// ErrSingular when a pivot underflows to zero.
+func NewLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: LU of non-square matrix")
+	}
+	n := a.Rows
+	lu := make([]float64, n*n)
+	copy(lu, a.Data)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		p := col
+		mx := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu[r*n+col]); v > mx {
+				mx, p = v, r
+			}
+		}
+		if mx == 0 || math.IsNaN(mx) {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[col*n+j] = lu[col*n+j], lu[p*n+j]
+			}
+			piv[p], piv[col] = piv[col], piv[p]
+			sign = -sign
+		}
+		d := lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := lu[r*n+col] / d
+			lu[r*n+col] = m
+			for j := col + 1; j < n; j++ {
+				lu[r*n+j] -= m * lu[col*n+j]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu[i*n+k] * x[k]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// Solve solves the general square system A x = b via LU with partial
+// pivoting.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveVandermonde solves the (m+1)x(m+1) system V w = mu where
+// V[i][j] = nodes[j]^i. This is the primal Vandermonde system that recovers
+// quadrature weights from moments. Nodes must be distinct; the solve goes
+// through LU for simplicity and robustness at the small sizes used here.
+func SolveVandermonde(nodes, mu []float64) ([]float64, error) {
+	n := len(nodes)
+	if len(mu) != n {
+		panic("linalg: SolveVandermonde dimension mismatch")
+	}
+	v := NewDense(n, n)
+	for j, x := range nodes {
+		p := 1.0
+		for i := 0; i < n; i++ {
+			v.Set(i, j, p)
+			p *= x
+		}
+	}
+	return Solve(v, mu)
+}

@@ -1,0 +1,217 @@
+package macrobase
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/sketch"
+)
+
+// buildWorkload creates groups where a known subset has an inflated tail —
+// exactly the anomalous-dimension-value scenario of §7.2.1. Returns the
+// engine plus the set of group names that truly exceed the threshold.
+func buildWorkload(t *testing.T, factory func() sketch.Summary, nGroups, cellsPerGroup, cellSize int) (*Engine, map[string]bool) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 13))
+	eng := &Engine{Factory: factory}
+	var allData []float64
+	groupData := make([][]float64, nGroups)
+	for g := 0; g < nGroups; g++ {
+		// One anomalous group: with a 30× rate multiplier, a group can only
+		// qualify when its outliers dominate the global tail, which caps
+		// how many qualifying groups can coexist (rate ≈ nGroups/nHot %).
+		hot := g == 0
+		var cells []sketch.Summary
+		for c := 0; c < cellsPerGroup; c++ {
+			cell := factory()
+			for i := 0; i < cellSize; i++ {
+				v := rng.ExpFloat64()
+				if hot {
+					// The anomalous group draws ~45% of its values from a
+					// shifted distribution.
+					if rng.Float64() < 0.45 {
+						v = 6 + rng.ExpFloat64()*2
+					}
+				}
+				cell.Add(v)
+				allData = append(allData, v)
+				groupData[g] = append(groupData[g], v)
+			}
+			cells = append(cells, cell)
+		}
+		gd := groupData[g]
+		name := groupName(g)
+		eng.Groups = append(eng.Groups, Group{
+			Name:  name,
+			Cells: cells,
+			CountAboveFn: func(thresh float64) float64 {
+				n := 0.0
+				for _, v := range gd {
+					if v > thresh {
+						n++
+					}
+				}
+				return n
+			},
+		})
+	}
+	// Ground truth: groups whose true 0.7-quantile exceeds the true global
+	// 0.99-quantile.
+	sort.Float64s(allData)
+	t99 := allData[len(allData)*99/100]
+	truth := map[string]bool{}
+	for g := range groupData {
+		gd := append([]float64{}, groupData[g]...)
+		sort.Float64s(gd)
+		if gd[len(gd)*70/100] > t99 {
+			truth[groupName(g)] = true
+		}
+	}
+	return eng, truth
+}
+
+func groupName(g int) string { return string(rune('A'+g%26)) + string(rune('0'+g/26)) }
+
+func msFactory() sketch.Summary { return sketch.NewMSketch(10) }
+
+func TestSubgroupPhi(t *testing.T) {
+	o := Options{GlobalPhi: 0.99, RateMultiplier: 30}
+	if got := o.SubgroupPhi(); got < 0.699 || got > 0.701 {
+		t.Errorf("SubgroupPhi = %v, want 0.70", got)
+	}
+}
+
+func TestCascadeFindsAnomalousGroups(t *testing.T) {
+	eng, truth := buildWorkload(t, msFactory, 60, 5, 200)
+	rep, err := eng.Run(ModeCascade, Options{Cascade: cascade.Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, m := range rep.Matches {
+		got[m] = true
+	}
+	// Every true anomaly must be found; false positives only at the margin.
+	missed, extra := 0, 0
+	for name := range truth {
+		if !got[name] {
+			missed++
+		}
+	}
+	for name := range got {
+		if !truth[name] {
+			extra++
+		}
+	}
+	if missed > 0 {
+		t.Errorf("missed %d of %d anomalous groups", missed, len(truth))
+	}
+	if extra > 2 {
+		t.Errorf("%d false positives (have %d true)", extra, len(truth))
+	}
+	if len(truth) == 0 {
+		t.Fatal("workload produced no true anomalies; test is vacuous")
+	}
+	if rep.Stats.Queries != 60 {
+		t.Errorf("cascade stats queries = %d", rep.Stats.Queries)
+	}
+	// The cascade should resolve most groups before the maxent stage.
+	if reached := rep.Stats.Reached(cascade.StageMaxEnt); reached > 30 {
+		t.Errorf("maxent reached by %d/60 groups; cascade ineffective", reached)
+	}
+}
+
+func TestModesAgree(t *testing.T) {
+	eng, _ := buildWorkload(t, msFactory, 40, 4, 150)
+	repCascade, err := eng.Run(ModeCascade, Options{Cascade: cascade.Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repDirect, err := eng.Run(ModeDirect, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cascade is defined to agree with direct maxent evaluation.
+	if len(repCascade.Matches) != len(repDirect.Matches) {
+		t.Errorf("cascade found %d, direct found %d", len(repCascade.Matches), len(repDirect.Matches))
+	}
+	repCount, err := eng.Run(ModeCount, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count mode is exact per-group; allow marginal disagreements.
+	diff := symmetricDiff(repCascade.Matches, repCount.Matches)
+	if diff > 2 {
+		t.Errorf("cascade vs count disagree on %d groups", diff)
+	}
+}
+
+func TestMerge12Mode(t *testing.T) {
+	eng, truth := buildWorkload(t, func() sketch.Summary { return sketch.NewMerge12(32) }, 40, 4, 150)
+	rep, err := eng.Run(ModeDirect, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, m := range rep.Matches {
+		got[m] = true
+	}
+	missed := 0
+	for name := range truth {
+		if !got[name] {
+			missed++
+		}
+	}
+	if missed > 1 {
+		t.Errorf("Merge12 direct mode missed %d of %d", missed, len(truth))
+	}
+}
+
+func TestCascadeModeRejectsWrongSummary(t *testing.T) {
+	eng, _ := buildWorkload(t, func() sketch.Summary { return sketch.NewGK(0.02) }, 5, 2, 50)
+	if _, err := eng.Run(ModeCascade, Options{Cascade: cascade.Full()}); err == nil {
+		t.Error("cascade mode must reject non-moments summaries")
+	}
+}
+
+func TestCountModeRequiresFn(t *testing.T) {
+	eng := &Engine{Factory: msFactory}
+	cell := msFactory()
+	cell.Add(1)
+	eng.Groups = []Group{{Name: "g", Cells: []sketch.Summary{cell}}}
+	if _, err := eng.Run(ModeCount, Options{}); err == nil {
+		t.Error("count mode without CountAboveFn must error")
+	}
+}
+
+func TestInvalidRateMultiplier(t *testing.T) {
+	eng, _ := buildWorkload(t, msFactory, 4, 2, 50)
+	if _, err := eng.Run(ModeDirect, Options{GlobalPhi: 0.99, RateMultiplier: 200}); err == nil {
+		t.Error("subgroup phi <= 0 must error")
+	}
+}
+
+func symmetricDiff(a, b []string) int {
+	am := map[string]bool{}
+	for _, x := range a {
+		am[x] = true
+	}
+	bm := map[string]bool{}
+	for _, x := range b {
+		bm[x] = true
+	}
+	d := 0
+	for x := range am {
+		if !bm[x] {
+			d++
+		}
+	}
+	for x := range bm {
+		if !am[x] {
+			d++
+		}
+	}
+	return d
+}

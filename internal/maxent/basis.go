@@ -1,0 +1,223 @@
+// Package maxent solves the maximum-entropy moment problem at the heart of
+// moments-sketch quantile estimation (paper §4.2–4.3): given the Chebyshev
+// moments recorded by a sketch, find the exponential-family density
+//
+//	f(u;θ) = exp(Σ_i θ_i·m̃_i(u))
+//
+// whose moments match, by minimizing the convex potential L(θ) with a damped
+// Newton method. The basis functions m̃_i are Chebyshev polynomials on the
+// value scale and on the log scale (§4.3.1), which keeps the Hessian
+// condition number small; integration uses Clenshaw–Curtis quadrature on a
+// Chebyshev–Lobatto grid, so each Newton iteration costs O(k·N) exponentials
+// and O(k²·N) multiply-adds.
+package maxent
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cheby"
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// Domain identifies the integration variable of the solver.
+type Domain int
+
+const (
+	// DomainStd integrates over u = scaled x.
+	DomainStd Domain = iota
+	// DomainLog integrates over v = scaled log(x). Used for long-tailed
+	// data, where value-domain integration of the log-basis functions would
+	// need intractably fine grids.
+	DomainLog
+)
+
+func (d Domain) String() string {
+	if d == DomainLog {
+		return "log"
+	}
+	return "std"
+}
+
+// logRangeRatioForLogPrimary is the xmax/xmin ratio beyond which the solver
+// integrates in the log domain. At the threshold both cross-domain basis
+// families stay smooth enough for modest grids (see DESIGN.md §4).
+const logRangeRatioForLogPrimary = 100
+
+// Basis describes the moment constraints handed to the solver: which domain
+// is the integration variable, how many Chebyshev terms of each family to
+// match, and the standardized moment vectors they are matched against.
+type Basis struct {
+	Primary Domain
+	// K1 is the number of value-domain Chebyshev terms T_1..T_K1.
+	K1 int
+	// K2 is the number of log-domain Chebyshev terms T_1..T_K2.
+	K2 int
+	// Std carries the value-domain scaling and Chebyshev moments. Required
+	// when K1 > 0 or Primary == DomainStd.
+	Std *core.Standardized
+	// Log carries the log-domain scaling and Chebyshev moments. Required
+	// when K2 > 0 or Primary == DomainLog.
+	Log *core.Standardized
+}
+
+// Dim returns the number of optimization variables: one normalization term
+// plus K1 + K2 moment constraints.
+func (b *Basis) Dim() int { return 1 + b.K1 + b.K2 }
+
+// Targets assembles the target moment vector d: d[0] = 1 (normalization),
+// then the standard and log Chebyshev moments.
+func (b *Basis) Targets() []float64 {
+	d := make([]float64, b.Dim())
+	d[0] = 1
+	for i := 1; i <= b.K1; i++ {
+		d[i] = b.Std.Cheby[i]
+	}
+	for j := 1; j <= b.K2; j++ {
+		d[b.K1+j] = b.Log.Cheby[j]
+	}
+	return d
+}
+
+// grid holds the evaluation grid shared by the objective, the selection
+// heuristic, and post-solve quantile extraction.
+type grid struct {
+	n     int         // grid order (n+1 Lobatto points)
+	nodes []float64   // u_p = cos(πp/n), from +1 down to -1
+	w     []float64   // Clenshaw–Curtis weights
+	b     [][]float64 // basis values: b[i][p] = m̃_i(u_p), i = 0..dim-1
+}
+
+// buildGrid evaluates all basis functions on an (n+1)-point Lobatto grid.
+// Rows for the primary-domain family are exact cosines; rows for the other
+// family go through the cross-domain map (exp or log).
+func buildGrid(b *Basis, n int) *grid {
+	g := &grid{n: n, nodes: cheby.Nodes(n), w: cheby.ClenshawCurtisWeights(n)}
+	dim := b.Dim()
+	g.b = make([][]float64, dim)
+	for i := range g.b {
+		g.b[i] = make([]float64, n+1)
+	}
+	for p := 0; p <= n; p++ {
+		g.b[0][p] = 1
+	}
+	// Basis rows for the primary family are exact cosines of the grid
+	// angle; the other family's rows go through the cross-domain map.
+	switch b.Primary {
+	case DomainStd:
+		for i := 1; i <= b.K1; i++ {
+			row := g.b[i]
+			for p := 0; p <= n; p++ {
+				row[p] = math.Cos(float64(i) * math.Pi * float64(p) / float64(g.n))
+			}
+		}
+		if b.K2 > 0 {
+			// v_p = logScale(log(unscale(u_p))), clamped to [-1,1].
+			v := make([]float64, n+1)
+			for p, u := range g.nodes {
+				x := b.Std.Unscale(u)
+				if x <= 0 {
+					// Only reachable by rounding at the lower endpoint of
+					// all-positive data; clamp to the log-domain floor.
+					v[p] = -1
+					continue
+				}
+				v[p] = clamp(b.Log.Scale(math.Log(x)), -1, 1)
+			}
+			for j := 1; j <= b.K2; j++ {
+				row := g.b[b.K1+j]
+				for p := 0; p <= n; p++ {
+					row[p] = math.Cos(float64(j) * math.Acos(v[p]))
+				}
+			}
+		}
+	case DomainLog:
+		for j := 1; j <= b.K2; j++ {
+			row := g.b[b.K1+j]
+			for p := 0; p <= n; p++ {
+				row[p] = math.Cos(float64(j) * math.Pi * float64(p) / float64(g.n))
+			}
+		}
+		if b.K1 > 0 {
+			// w_p = stdScale(exp(logUnscale(u_p))), clamped to [-1,1].
+			wv := make([]float64, n+1)
+			for p, u := range g.nodes {
+				x := math.Exp(b.Log.Unscale(u))
+				wv[p] = clamp(b.Std.Scale(x), -1, 1)
+			}
+			for i := 1; i <= b.K1; i++ {
+				row := g.b[i]
+				for p := 0; p <= n; p++ {
+					row[p] = math.Cos(float64(i) * math.Acos(wv[p]))
+				}
+			}
+		}
+	}
+	return g
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// uniformExpectations returns E_uniform[m̃_i] for each basis row under the
+// uniform density ½ on [-1,1] — the reference point of the paper's
+// "favour moments closest to uniform" selection heuristic.
+func (g *grid) uniformExpectations() []float64 {
+	out := make([]float64, len(g.b))
+	for i, row := range g.b {
+		s := 0.0
+		for p, wp := range g.w {
+			s += wp * row[p]
+		}
+		out[i] = s / 2
+	}
+	return out
+}
+
+// gram computes the Gram matrix G_ij = Σ_p w_p·m̃_i·m̃_j over the subset of
+// rows given by idx. This is the Hessian at the uniform density up to a
+// constant factor, used for condition-number screening (§4.3.1).
+func (g *grid) gram(idx []int) *linalg.Dense {
+	m := len(idx)
+	out := linalg.NewDense(m, m)
+	for a := 0; a < m; a++ {
+		ra := g.b[idx[a]]
+		for bcol := a; bcol < m; bcol++ {
+			rb := g.b[idx[bcol]]
+			s := 0.0
+			for p, wp := range g.w {
+				s += wp * ra[p] * rb[p]
+			}
+			out.Set(a, bcol, s)
+			out.Set(bcol, a, s)
+		}
+	}
+	return out
+}
+
+func (b *Basis) validate() error {
+	if b.K1 < 0 || b.K2 < 0 || b.K1+b.K2 == 0 {
+		return fmt.Errorf("maxent: invalid basis K1=%d K2=%d", b.K1, b.K2)
+	}
+	if (b.K1 > 0 || b.Primary == DomainStd) && b.Std == nil {
+		return fmt.Errorf("maxent: basis requires value-domain moments")
+	}
+	if (b.K2 > 0 || b.Primary == DomainLog) && b.Log == nil {
+		return fmt.Errorf("maxent: basis requires log-domain moments")
+	}
+	if b.K1 > 0 && len(b.Std.Cheby) <= b.K1 {
+		return fmt.Errorf("maxent: need %d std Chebyshev moments, have %d", b.K1, len(b.Std.Cheby)-1)
+	}
+	if b.K2 > 0 && len(b.Log.Cheby) <= b.K2 {
+		return fmt.Errorf("maxent: need %d log Chebyshev moments, have %d", b.K2, len(b.Log.Cheby)-1)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package maxent
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// selectionGrid is the (coarse) grid order used for condition-number
+// screening during basis selection. The Gram matrix entries are degree
+// ≤ 2k polynomials of the basis functions, so a modest grid suffices.
+const selectionGrid = 64
+
+// SelectBasis chooses how many standard and log moments to use for a
+// sketch, implementing the paper's heuristics (§4.3.1–4.3.2):
+//
+//  1. cap each family at its floating-point-stable order (Appendix B);
+//  2. integrate in the log domain when the data spans ≥2 orders of
+//     magnitude (long-tailed data);
+//  3. greedily add one moment at a time, preferring the family whose next
+//     Chebyshev moment is closest to its uniform-distribution expectation,
+//     subject to the Gram/Hessian condition number staying below κmax.
+func SelectBasis(sk *core.Sketch, opts Options) (Basis, error) {
+	opts.defaults()
+	kStd, kLog := sk.StableOrders()
+	if kStd < 1 {
+		kStd = 1
+	}
+	std, err := sk.Standardize(kStd)
+	if err != nil {
+		return Basis{}, err
+	}
+	var logStd *core.Standardized
+	if kLog > 0 {
+		logStd, err = sk.StandardizeLog(kLog)
+		if err != nil {
+			// Defensive: StableOrders said log moments exist.
+			kLog = 0
+			logStd = nil
+		}
+	}
+
+	primary := DomainStd
+	if kLog > 0 && sk.Min > 0 && sk.Max/sk.Min >= logRangeRatioForLogPrimary {
+		primary = DomainLog
+	}
+
+	// Build the full candidate basis once; selection works on row subsets.
+	full := Basis{Primary: primary, K1: kStd, K2: kLog, Std: std, Log: logStd}
+	g := buildGrid(&full, selectionGrid)
+	uni := g.uniformExpectations()
+	targets := full.Targets()
+
+	// scores[i]: distance of moment i from its uniform expectation.
+	score := func(row int) float64 { return math.Abs(targets[row] - uni[row]) }
+
+	rows := []int{0} // always include the normalization row
+	k1, k2 := 0, 0
+	for {
+		type cand struct {
+			row   int
+			isLog bool
+			sc    float64
+		}
+		var cands []cand
+		if k1 < kStd {
+			cands = append(cands, cand{row: 1 + k1, isLog: false, sc: score(1 + k1)})
+		}
+		if k2 < kLog {
+			cands = append(cands, cand{row: 1 + kStd + k2, isLog: true, sc: score(1 + kStd + k2)})
+		}
+		if len(cands) == 0 {
+			break
+		}
+		if len(cands) == 2 && cands[1].sc < cands[0].sc {
+			cands[0], cands[1] = cands[1], cands[0]
+		}
+		advanced := false
+		for _, c := range cands {
+			trial := append(append([]int{}, rows...), c.row)
+			if cond := linalg.Cond2Sym(g.gram(trial)); cond <= opts.MaxCond {
+				rows = trial
+				if c.isLog {
+					k2++
+				} else {
+					k1++
+				}
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	if k1+k2 == 0 {
+		// κmax rejected everything; fall back to the single most uniform
+		// moment so the solver has at least one constraint.
+		if kLog > 0 && (kStd == 0 || score(1+kStd) < score(1)) {
+			k2 = 1
+		} else {
+			k1 = 1
+		}
+	}
+	// Integrating in the log domain without any log-basis terms (or vice
+	// versa with a zero-width domain) is pointless; fall back to std.
+	if primary == DomainLog && logStd.HalfWidth == 0 {
+		primary = DomainStd
+	}
+	if primary == DomainStd && std.HalfWidth == 0 && logStd != nil && logStd.HalfWidth > 0 {
+		primary = DomainLog
+	}
+	return Basis{Primary: primary, K1: k1, K2: k2, Std: std, Log: logStd}, nil
+}
+
+// SolveSketch selects a basis for the sketch and solves the maximum-entropy
+// problem. Degenerate sketches (empty range) short-circuit to a point mass.
+func SolveSketch(sk *core.Sketch, opts Options) (*Solution, error) {
+	if sk.IsEmpty() {
+		return nil, core.ErrEmpty
+	}
+	if sk.Min == sk.Max {
+		return PointMass(sk.Min), nil
+	}
+	b, err := SelectBasis(sk, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(b, opts)
+}

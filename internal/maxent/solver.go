@@ -1,0 +1,404 @@
+package maxent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cheby"
+	"repro/internal/linalg"
+	"repro/internal/optimize"
+	"repro/internal/rootfind"
+)
+
+// Options configures the solver. The zero value picks the paper's defaults.
+type Options struct {
+	// GridSize is the initial Clenshaw–Curtis grid order N (power of two).
+	// Default 128.
+	GridSize int
+	// MaxGrid caps adaptive grid refinement. Default 1024.
+	MaxGrid int
+	// GradTol is the moment-matching tolerance δ: Newton runs until the
+	// moments match to within this (paper uses 1e-9). Default 1e-9.
+	GradTol float64
+	// MaxCond is the condition-number cap κmax for basis selection
+	// (paper uses 1e4). Default 1e4.
+	MaxCond float64
+	// MaxIter bounds Newton iterations per grid level. Default 200.
+	MaxIter int
+	// MaxRetries bounds how many times the solver drops the least-uniform
+	// moment and retries after a convergence failure. Default 2.
+	MaxRetries int
+}
+
+func (o *Options) defaults() {
+	if o.GridSize <= 0 {
+		o.GridSize = 128
+	}
+	o.GridSize = cheby.NextPow2(o.GridSize)
+	if o.MaxGrid < o.GridSize {
+		o.MaxGrid = 1024
+		if o.MaxGrid < o.GridSize {
+			o.MaxGrid = o.GridSize
+		}
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-9
+	}
+	if o.MaxCond <= 0 {
+		o.MaxCond = 1e4
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 2
+	}
+}
+
+// ErrNotConverged is returned when Newton cannot match the moments — the
+// documented failure mode on near-discrete data (paper §6.2.3: fewer than
+// five distinct values).
+var ErrNotConverged = errors.New("maxent: solver did not converge")
+
+// Solution is a solved maximum-entropy density with precomputed CDF
+// machinery for quantile queries.
+type Solution struct {
+	Basis Basis
+	Theta []float64
+	// Iterations is the total Newton iteration count across grid levels
+	// and retries; FuncEvals counts objective evaluations.
+	Iterations int
+	FuncEvals  int
+	// GridUsed is the final Clenshaw–Curtis grid order.
+	GridUsed int
+
+	coeffs []float64 // Chebyshev coefficients of the density over u
+	cdf    []float64 // antiderivative coefficients, F(-1) = 0
+	norm   float64   // F(1)
+
+	// point-mass degenerate case
+	degenerate bool
+	pointMass  float64
+
+	xmin, xmax float64
+}
+
+// potential is the convex objective L(θ) from Eq. (5) of the paper,
+// discretized on a Clenshaw–Curtis grid.
+type potential struct {
+	g *grid
+	d []float64 // target moments
+
+	// density cache keyed on the exact θ contents
+	lastTheta []float64
+	dens      []float64
+}
+
+func newPotential(g *grid, d []float64) *potential {
+	return &potential{g: g, d: d, dens: make([]float64, g.n+1)}
+}
+
+func (p *potential) Dim() int { return len(p.d) }
+
+// density fills p.dens with exp(Σ θ_i m̃_i(u_p)); values that overflow
+// become +Inf, which the line search rejects naturally.
+func (p *potential) density(theta []float64) []float64 {
+	if p.lastTheta != nil && equalVec(p.lastTheta, theta) {
+		return p.dens
+	}
+	n := p.g.n
+	for pt := 0; pt <= n; pt++ {
+		s := 0.0
+		for i, th := range theta {
+			s += th * p.g.b[i][pt]
+		}
+		p.dens[pt] = math.Exp(s)
+	}
+	if p.lastTheta == nil {
+		p.lastTheta = make([]float64, len(theta))
+	}
+	copy(p.lastTheta, theta)
+	return p.dens
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *potential) Value(theta []float64) float64 {
+	dens := p.density(theta)
+	s := 0.0
+	for pt, w := range p.g.w {
+		s += w * dens[pt]
+	}
+	for i, th := range theta {
+		s -= th * p.d[i]
+	}
+	return s
+}
+
+func (p *potential) Gradient(theta, grad []float64) {
+	dens := p.density(theta)
+	for i := range grad {
+		row := p.g.b[i]
+		s := 0.0
+		for pt, w := range p.g.w {
+			s += w * row[pt] * dens[pt]
+		}
+		grad[i] = s - p.d[i]
+	}
+}
+
+func (p *potential) Hessian(theta []float64, h *linalg.Dense) {
+	dens := p.density(theta)
+	dim := len(theta)
+	wd := make([]float64, len(dens))
+	for pt, w := range p.g.w {
+		wd[pt] = w * dens[pt]
+	}
+	for i := 0; i < dim; i++ {
+		ri := p.g.b[i]
+		for j := i; j < dim; j++ {
+			rj := p.g.b[j]
+			s := 0.0
+			for pt, w := range wd {
+				s += w * ri[pt] * rj[pt]
+			}
+			h.Set(i, j, s)
+			h.Set(j, i, s)
+		}
+	}
+}
+
+// Solve finds the maximum-entropy density for the given basis.
+func Solve(b Basis, opts Options) (*Solution, error) {
+	opts.defaults()
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	sol := &Solution{Basis: b}
+	setSolutionRange(sol, &b)
+
+	basis := b
+	var lastErr error
+	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		s, err := solveOnce(basis, opts, sol)
+		if err == nil {
+			return s, nil
+		}
+		lastErr = err
+		// Drop the highest term of the larger family and retry: infeasible
+		// or precision-damaged high moments are the usual culprit.
+		if basis.K1+basis.K2 <= 1 {
+			break
+		}
+		if basis.K2 >= basis.K1 && basis.K2 > 0 {
+			basis.K2--
+		} else {
+			basis.K1--
+		}
+		if basis.K1+basis.K2 == 0 {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+func solveOnce(b Basis, opts Options, proto *Solution) (*Solution, error) {
+	d := b.Targets()
+	theta := make([]float64, b.Dim())
+	theta[0] = math.Log(0.5) // start at the uniform density on [-1,1]
+
+	totalIter, totalEvals := 0, 0
+	n := opts.GridSize
+	for {
+		g := buildGrid(&b, n)
+		pot := newPotential(g, d)
+		res, err := optimize.Newton(pot, theta, optimize.NewtonOptions{
+			GradTol: opts.GradTol,
+			MaxIter: opts.MaxIter,
+		})
+		totalIter += res.Iterations
+		totalEvals += res.FuncEvals
+		if err != nil || !res.Converged {
+			if err == nil {
+				err = ErrNotConverged
+			}
+			return nil, fmt.Errorf("maxent: grid %d: %w", n, err)
+		}
+		copy(theta, res.X)
+
+		if n >= opts.MaxGrid {
+			return finishSolution(b, g, pot, theta, totalIter, totalEvals, proto), nil
+		}
+		// Validate on a finer grid: if the converged θ's residual holds up,
+		// the quadrature was already accurate enough.
+		fine := buildGrid(&b, 2*n)
+		finePot := newPotential(fine, d)
+		grad := make([]float64, b.Dim())
+		finePot.Gradient(theta, grad)
+		if linalg.NormInf(grad) <= 100*opts.GradTol {
+			return finishSolution(b, fine, finePot, theta, totalIter, totalEvals, proto), nil
+		}
+		n *= 2
+	}
+}
+
+func setSolutionRange(sol *Solution, b *Basis) {
+	switch b.Primary {
+	case DomainStd:
+		sol.xmin = b.Std.Unscale(-1)
+		sol.xmax = b.Std.Unscale(1)
+	case DomainLog:
+		sol.xmin = math.Exp(b.Log.Unscale(-1))
+		sol.xmax = math.Exp(b.Log.Unscale(1))
+	}
+}
+
+func finishSolution(b Basis, g *grid, pot *potential, theta []float64, iters, evals int, proto *Solution) *Solution {
+	sol := &Solution{
+		Basis:      b,
+		Theta:      theta,
+		Iterations: iters,
+		FuncEvals:  evals,
+		GridUsed:   g.n,
+		xmin:       proto.xmin,
+		xmax:       proto.xmax,
+	}
+	dens := pot.density(theta)
+	// Samples are ordered by node index (u from +1 down to -1), which is
+	// exactly the ordering Interpolate expects.
+	sol.coeffs = cheby.Interpolate(dens)
+	sol.cdf = cheby.Antiderivative(sol.coeffs)
+	sol.norm = cheby.Eval(sol.cdf, 1)
+	if sol.norm <= 0 || math.IsNaN(sol.norm) {
+		sol.norm = 1
+	}
+	return sol
+}
+
+// Quantile returns the phi-quantile of the solved density, mapped back to
+// the raw data domain and clamped to [xmin, xmax].
+func (s *Solution) Quantile(phi float64) float64 {
+	if s.degenerate {
+		return s.pointMass
+	}
+	if phi <= 0 {
+		return s.xmin
+	}
+	if phi >= 1 {
+		return s.xmax
+	}
+	target := phi * s.norm
+	f := func(u float64) float64 { return cheby.Eval(s.cdf, u) - target }
+	u, err := rootfind.Brent(f, -1, 1, 1e-12, 200)
+	if err != nil {
+		// The CDF is monotone by construction (density ≥ 0); a bracket
+		// failure can only come from rounding at the endpoints.
+		if f(-1) > 0 {
+			u = -1
+		} else {
+			u = 1
+		}
+	}
+	return clamp(s.fromU(u), s.xmin, s.xmax)
+}
+
+// Quantiles evaluates multiple quantiles, reusing the solved density.
+func (s *Solution) Quantiles(phis []float64) []float64 {
+	out := make([]float64, len(phis))
+	for i, p := range phis {
+		out[i] = s.Quantile(p)
+	}
+	return out
+}
+
+// CDF returns the estimated fraction of data ≤ x.
+func (s *Solution) CDF(x float64) float64 {
+	if s.degenerate {
+		if x < s.pointMass {
+			return 0
+		}
+		return 1
+	}
+	u, ok := s.toU(x)
+	if !ok {
+		if x < s.xmin {
+			return 0
+		}
+		return 1
+	}
+	return clamp(cheby.Eval(s.cdf, u)/s.norm, 0, 1)
+}
+
+// Density returns the estimated probability density at x with respect to
+// the raw data domain (chain rule applied for log-primary solutions).
+func (s *Solution) Density(x float64) float64 {
+	if s.degenerate {
+		return 0
+	}
+	u, ok := s.toU(x)
+	if !ok {
+		return 0
+	}
+	du := cheby.Eval(s.coeffs, u) / s.norm
+	switch s.Basis.Primary {
+	case DomainStd:
+		if s.Basis.Std.HalfWidth == 0 {
+			return 0
+		}
+		return du / s.Basis.Std.HalfWidth
+	default: // DomainLog: u = (log x - c)/h, so dx = x·h·du
+		if x <= 0 || s.Basis.Log.HalfWidth == 0 {
+			return 0
+		}
+		return du / (x * s.Basis.Log.HalfWidth)
+	}
+}
+
+// Support returns the [xmin, xmax] range of the solution.
+func (s *Solution) Support() (float64, float64) { return s.xmin, s.xmax }
+
+func (s *Solution) fromU(u float64) float64 {
+	switch s.Basis.Primary {
+	case DomainStd:
+		return s.Basis.Std.Unscale(u)
+	default:
+		return math.Exp(s.Basis.Log.Unscale(u))
+	}
+}
+
+func (s *Solution) toU(x float64) (float64, bool) {
+	switch s.Basis.Primary {
+	case DomainStd:
+		u := s.Basis.Std.Scale(x)
+		if u < -1 || u > 1 {
+			return clamp(u, -1, 1), u >= -1-1e-12 && u <= 1+1e-12
+		}
+		return u, true
+	default:
+		if x <= 0 {
+			return -1, false
+		}
+		u := s.Basis.Log.Scale(math.Log(x))
+		if u < -1 || u > 1 {
+			return clamp(u, -1, 1), u >= -1-1e-9 && u <= 1+1e-9
+		}
+		return u, true
+	}
+}
+
+// PointMass returns a degenerate solution representing a dataset whose
+// values are all equal to x.
+func PointMass(x float64) *Solution {
+	return &Solution{degenerate: true, pointMass: x, xmin: x, xmax: x, norm: 1}
+}

@@ -1,0 +1,102 @@
+// Package quad provides one-dimensional numerical quadrature routines.
+//
+// The production maximum-entropy solver integrates on a Clenshaw–Curtis grid
+// (package cheby); this package exists for the lesion-study "naive Newton"
+// estimator — which per the paper uses adaptive Romberg integration for every
+// Hessian entry — and as a general-purpose utility.
+package quad
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when an adaptive rule fails to reach the
+// requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("quad: integration did not converge")
+
+// Romberg integrates f over [a,b] by Richardson-extrapolated trapezoid
+// rules, refining until successive extrapolations differ by less than tol
+// (relative to the magnitude of the estimate) or maxIter doublings occur.
+func Romberg(f func(float64) float64, a, b float64, tol float64, maxIter int) (float64, error) {
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	if a == b {
+		return 0, nil
+	}
+	r := make([][]float64, 0, maxIter)
+	h := b - a
+	r = append(r, []float64{h / 2 * (f(a) + f(b))})
+	for i := 1; i < maxIter; i++ {
+		h /= 2
+		// Trapezoid refinement: add midpoints of the previous level.
+		n := 1 << (i - 1)
+		s := 0.0
+		for k := 0; k < n; k++ {
+			s += f(a + (2*float64(k)+1)*h)
+		}
+		row := make([]float64, i+1)
+		row[0] = r[i-1][0]/2 + h*s
+		// Richardson extrapolation.
+		pow4 := 1.0
+		for j := 1; j <= i; j++ {
+			pow4 *= 4
+			row[j] = row[j-1] + (row[j-1]-r[i-1][j-1])/(pow4-1)
+		}
+		r = append(r, row)
+		if i >= 3 {
+			cur, prev := row[i], r[i-1][i-1]
+			if math.Abs(cur-prev) <= tol*(1+math.Abs(cur)) {
+				return cur, nil
+			}
+		}
+	}
+	last := r[len(r)-1]
+	return last[len(last)-1], ErrNoConvergence
+}
+
+// Simpson integrates f over [a,b] with the composite Simpson rule on n
+// panels (n rounded up to even).
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	s := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			s += 4 * f(x)
+		} else {
+			s += 2 * f(x)
+		}
+	}
+	return s * h / 3
+}
+
+// AdaptiveSimpson integrates f over [a,b], recursively bisecting panels
+// until the local Simpson error estimate is below tol.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64) float64 {
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	return adaptiveSimpsonAux(f, a, b, fa, fb, fm, whole, tol, 30)
+}
+
+func adaptiveSimpsonAux(f func(float64) float64, a, b, fa, fb, fm, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpsonAux(f, a, m, fa, fm, flm, left, tol/2, depth-1) +
+		adaptiveSimpsonAux(f, m, b, fm, fb, frm, right, tol/2, depth-1)
+}

@@ -1,0 +1,77 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRombergExp(t *testing.T) {
+	got, err := Romberg(math.Exp, -1, 1, 1e-12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.E - 1/math.E
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("Romberg exp = %v, want %v", got, want)
+	}
+}
+
+func TestRombergPolynomialExact(t *testing.T) {
+	f := func(x float64) float64 { return 3*x*x - 2*x + 1 }
+	got, err := Romberg(f, 0, 2, 1e-12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-10 { // x³-x²+x from 0 to 2 = 8-4+2
+		t.Errorf("Romberg poly = %v, want 6", got)
+	}
+}
+
+func TestRombergEmptyInterval(t *testing.T) {
+	got, err := Romberg(math.Sin, 1, 1, 1e-10, 10)
+	if err != nil || got != 0 {
+		t.Errorf("empty interval = %v, %v", got, err)
+	}
+}
+
+func TestRombergReversedInterval(t *testing.T) {
+	fwd, _ := Romberg(math.Exp, 0, 1, 1e-12, 20)
+	rev, _ := Romberg(math.Exp, 1, 0, 1e-12, 20)
+	if math.Abs(fwd+rev) > 1e-10 {
+		t.Errorf("reversed interval should negate: %v vs %v", fwd, rev)
+	}
+}
+
+func TestSimpson(t *testing.T) {
+	got := Simpson(func(x float64) float64 { return x * x }, 0, 1, 100)
+	if math.Abs(got-1.0/3.0) > 1e-10 {
+		t.Errorf("Simpson x² = %v, want 1/3", got)
+	}
+	// Odd n is rounded up; cubic exactness of Simpson.
+	got = Simpson(func(x float64) float64 { return x * x * x }, -1, 2, 3)
+	if math.Abs(got-15.0/4.0) > 1e-10 {
+		t.Errorf("Simpson x³ = %v, want 15/4", got)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	// A peaked integrand that fixed grids handle poorly.
+	f := func(x float64) float64 { return 1 / (1e-4 + x*x) }
+	got := AdaptiveSimpson(f, -1, 1, 1e-10)
+	want := 2 / 1e-2 * math.Atan(1/1e-2)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("AdaptiveSimpson peak = %v, want %v", got, want)
+	}
+}
+
+func TestRombergGaussian(t *testing.T) {
+	// ∫_{-8}^{8} exp(-x²/2)/√(2π) ≈ 1.
+	f := func(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }
+	got, err := Romberg(f, -8, 8, 1e-12, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Gaussian mass = %v, want 1", got)
+	}
+}

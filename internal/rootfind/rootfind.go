@@ -1,0 +1,164 @@
+// Package rootfind implements scalar root-finding: Brent's method (used by
+// quantile extraction, paper §4.2) and simple bracketing utilities used by
+// the RTT moment-bound node solver.
+package rootfind
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when the supplied interval does not bracket a
+// sign change.
+var ErrNoBracket = errors.New("rootfind: interval does not bracket a root")
+
+// ErrNoConvergence is returned when the iteration budget is exhausted.
+var ErrNoConvergence = errors.New("rootfind: did not converge")
+
+// Brent finds a root of f in [a,b] using Brent's method (inverse quadratic
+// interpolation with bisection safeguards). f(a) and f(b) must have opposite
+// signs. tol is the absolute x tolerance.
+func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < maxIter; i++ {
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d = b - a
+			e = d
+		}
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			// Attempt inverse quadratic interpolation.
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e, d = d, p/q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			if xm > 0 {
+				b += tol1
+			} else {
+				b -= tol1
+			}
+		}
+		fb = f(b)
+	}
+	return b, ErrNoConvergence
+}
+
+// Bisect finds a root of f in [a,b] by bisection. Slower than Brent but
+// unconditionally robust; used as a fallback.
+func Bisect(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < maxIter; i++ {
+		m := (a + b) / 2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if (fa > 0) == (fm > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// RealRootsInInterval finds the real roots of a continuous function in
+// [a,b] by scanning gridN sub-intervals for sign changes and refining each
+// bracket with Brent. Tangent (even-multiplicity) roots that never cross
+// zero are not detected; callers that need them must densify the grid or
+// perturb the function. Roots are returned in increasing order.
+func RealRootsInInterval(f func(float64) float64, a, b float64, gridN int, tol float64) []float64 {
+	if gridN < 2 {
+		gridN = 2
+	}
+	var roots []float64
+	h := (b - a) / float64(gridN)
+	x0 := a
+	f0 := f(x0)
+	for i := 1; i <= gridN; i++ {
+		x1 := a + float64(i)*h
+		if i == gridN {
+			x1 = b
+		}
+		f1 := f(x1)
+		switch {
+		case f0 == 0:
+			if len(roots) == 0 || math.Abs(roots[len(roots)-1]-x0) > tol {
+				roots = append(roots, x0)
+			}
+		case (f0 > 0) != (f1 > 0):
+			if r, err := Brent(f, x0, x1, tol, 100); err == nil {
+				if len(roots) == 0 || math.Abs(roots[len(roots)-1]-r) > tol {
+					roots = append(roots, r)
+				}
+			}
+		}
+		x0, f0 = x1, f1
+	}
+	if f0 == 0 && (len(roots) == 0 || math.Abs(roots[len(roots)-1]-x0) > tol) {
+		roots = append(roots, x0)
+	}
+	return roots
+}

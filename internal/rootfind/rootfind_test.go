@@ -1,0 +1,112 @@
+package rootfind
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestBrentSqrt2(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	r, err := Brent(f, 0, 2, 1e-14, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-math.Sqrt2) > 1e-12 {
+		t.Errorf("root = %v, want √2", r)
+	}
+}
+
+func TestBrentEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Brent(f, 0, 1, 1e-12, 100); err != nil || r != 0 {
+		t.Errorf("endpoint root = %v, %v", r, err)
+	}
+	if r, err := Brent(f, -1, 0, 1e-12, 100); err != nil || r != 0 {
+		t.Errorf("endpoint root = %v, %v", r, err)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Brent(f, -1, 1, 1e-12, 100); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// cos(x) = x near 0.739085.
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	r, err := Brent(f, 0, 1, 1e-14, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.7390851332151607) > 1e-10 {
+		t.Errorf("dottie number = %v", r)
+	}
+}
+
+func TestBrentSteepCDF(t *testing.T) {
+	// Mimics quantile inversion on a steep CDF.
+	f := func(x float64) float64 { return 1/(1+math.Exp(-50*x)) - 0.3 }
+	r, err := Brent(f, -1, 1, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log(1/0.3-1) / 50
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("steep CDF root = %v, want %v", r, want)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - x - 2 }
+	r, err := Bisect(f, 1, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f(r)) > 1e-9 {
+		t.Errorf("bisect residual %v at %v", f(r), r)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-10, 50); err != ErrNoBracket {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestRealRootsInInterval(t *testing.T) {
+	// (x+0.5)(x)(x-0.7) has three roots.
+	f := func(x float64) float64 { return (x + 0.5) * x * (x - 0.7) }
+	roots := RealRootsInInterval(f, -1, 1, 200, 1e-12)
+	if len(roots) != 3 {
+		t.Fatalf("found %d roots %v, want 3", len(roots), roots)
+	}
+	want := []float64{-0.5, 0, 0.7}
+	sort.Float64s(roots)
+	for i := range want {
+		if math.Abs(roots[i]-want[i]) > 1e-9 {
+			t.Errorf("root[%d] = %v, want %v", i, roots[i], want[i])
+		}
+	}
+}
+
+func TestRealRootsNone(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 0.5 }
+	if roots := RealRootsInInterval(f, -1, 1, 100, 1e-12); len(roots) != 0 {
+		t.Errorf("unexpected roots %v", roots)
+	}
+}
+
+func TestRealRootsChebyshevLike(t *testing.T) {
+	// cos(6 arccos x) has 6 roots in (-1,1) — the hardest shape RTT sees.
+	f := func(x float64) float64 { return math.Cos(6 * math.Acos(math.Max(-1, math.Min(1, x)))) }
+	roots := RealRootsInInterval(f, -1, 1, 500, 1e-12)
+	if len(roots) != 6 {
+		t.Fatalf("found %d roots, want 6: %v", len(roots), roots)
+	}
+	for k, r := range roots {
+		want := math.Cos(math.Pi * (11 - 2*float64(k)) / 12) // ascending order
+		if math.Abs(r-want) > 1e-9 {
+			t.Errorf("root[%d] = %v, want %v", k, r, want)
+		}
+	}
+}

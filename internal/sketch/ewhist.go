@@ -1,0 +1,187 @@
+package sketch
+
+import (
+	"math"
+)
+
+// EWHist is a mergeable equi-width histogram with power-of-two ranges
+// [65]: B buckets of width 2^e aligned to multiples of the width. When a
+// value (or merge partner) falls outside the covered range, the width
+// doubles and counts re-bin — so two histograms can always be aligned to a
+// common grid and added, making the summary cheaply mergeable at the cost
+// of resolution on long-tailed data (paper Figs. 3, 7).
+type EWHist struct {
+	bins     int
+	counts   []float64
+	lo       float64 // left edge, multiple of width
+	width    float64 // bucket width, a power of two
+	n        float64
+	min, max float64
+}
+
+// NewEWHist returns an equi-width histogram with the given bucket count.
+func NewEWHist(bins int) *EWHist {
+	if bins < 2 {
+		bins = 2
+	}
+	return &EWHist{bins: bins, counts: make([]float64, bins), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Name implements Summary.
+func (h *EWHist) Name() string { return "EW-Hist" }
+
+// Add implements Summary.
+func (h *EWHist) Add(x float64) {
+	h.n++
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	if h.width == 0 {
+		h.width = 1.0 / 1024 // smallest granularity; grows on demand
+		h.lo = math.Floor(x/h.width) * h.width
+	}
+	for x < h.lo || x >= h.lo+float64(h.bins)*h.width {
+		h.grow(x)
+	}
+	idx := int((x - h.lo) / h.width)
+	if idx >= h.bins {
+		idx = h.bins - 1
+	}
+	h.counts[idx]++
+}
+
+// grow doubles the bucket width (re-binning pairwise) and re-aligns the
+// origin toward x when needed.
+func (h *EWHist) grow(x float64) {
+	// First try to slide the window if it is empty on one side — cheaper
+	// than widening. Otherwise double the width.
+	newWidth := h.width * 2
+	newLo := math.Floor(h.lo/newWidth) * newWidth
+	fresh := make([]float64, h.bins)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		center := h.lo + (float64(i)+0.5)*h.width
+		j := int((center - newLo) / newWidth)
+		if j < 0 {
+			j = 0
+		}
+		if j >= h.bins {
+			j = h.bins - 1
+		}
+		fresh[j] += c
+	}
+	// Pull the origin toward x when x is far below the window.
+	if x < newLo {
+		span := newWidth * float64(h.bins)
+		shift := math.Ceil((newLo-x)/span) * span
+		// Only shift if the occupied buckets still fit; otherwise the next
+		// grow() doubles again.
+		occupiedHi := 0
+		for i := h.bins - 1; i >= 0; i-- {
+			if fresh[i] > 0 {
+				occupiedHi = i
+				break
+			}
+		}
+		if newLo-shift+float64(occupiedHi+1)*newWidth <= newLo+span {
+			rebased := make([]float64, h.bins)
+			off := int(shift / newWidth)
+			for i, c := range fresh {
+				if c == 0 {
+					continue
+				}
+				j := i + off
+				if j >= h.bins {
+					j = h.bins - 1
+				}
+				rebased[j] += c
+			}
+			fresh = rebased
+			newLo -= shift
+		}
+	}
+	h.counts = fresh
+	h.width = newWidth
+	h.lo = newLo
+}
+
+// Merge implements Summary: widen both to a common power-of-two grid, then
+// add counts.
+func (h *EWHist) Merge(other Summary) error {
+	o, ok := other.(*EWHist)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	if o.bins != h.bins {
+		return ErrTypeMismatch
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if h.n == 0 {
+		copy(h.counts, o.counts)
+		h.lo, h.width, h.n, h.min, h.max = o.lo, o.width, o.n, o.min, o.max
+		return nil
+	}
+	// Ensure both ends of the union fit in this histogram's window.
+	for o.min < h.lo || o.max >= h.lo+float64(h.bins)*h.width || h.width < o.width {
+		if o.min < h.lo {
+			h.grow(o.min)
+		} else {
+			h.grow(h.lo + float64(h.bins)*h.width) // force doubling upward
+		}
+	}
+	for i, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		center := o.lo + (float64(i)+0.5)*o.width
+		j := int((center - h.lo) / h.width)
+		if j < 0 {
+			j = 0
+		}
+		if j >= h.bins {
+			j = h.bins - 1
+		}
+		h.counts[j] += c
+	}
+	h.n += o.n
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	return nil
+}
+
+// Quantile implements Summary: cumulative counts with linear interpolation
+// inside the bucket, clamped to the exact [min, max].
+func (h *EWHist) Quantile(phi float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	target := phi * h.n
+	cum := 0.0
+	for i, c := range h.counts {
+		if cum+c >= target && c > 0 {
+			f := (target - cum) / c
+			v := h.lo + (float64(i)+f)*h.width
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// Count implements Summary.
+func (h *EWHist) Count() float64 { return h.n }
+
+// SizeBytes implements Summary: counts could be packed smaller, but we
+// follow the paper's accounting of ~8 bytes per bucket plus range header.
+func (h *EWHist) SizeBytes() int { return 32 + 8*h.bins }

@@ -1,0 +1,174 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// GK is the GKArray variant of the Greenwald–Khanna quantile summary
+// [34, 52]: a sorted array of (v, g, Δ) tuples with batched inserts and
+// periodic compression against the 2εn budget. GK summaries are not
+// strictly mergeable — merging concatenates uncertainty, so the summary can
+// grow (the paper calls this out in §6.1 and Appendix D.4).
+type GK struct {
+	eps    float64
+	n      float64
+	tuples []gkTuple
+	buf    []float64
+}
+
+type gkTuple struct {
+	v   float64
+	g   float64 // rank gap to the previous tuple
+	del float64 // rank uncertainty
+}
+
+// NewGK returns a GK summary with rank-error target eps.
+func NewGK(eps float64) *GK {
+	if eps <= 0 {
+		eps = 0.01
+	}
+	bufCap := int(1/(2*eps)) + 1
+	if bufCap < 16 {
+		bufCap = 16
+	}
+	return &GK{eps: eps, buf: make([]float64, 0, bufCap)}
+}
+
+// Name implements Summary.
+func (s *GK) Name() string { return "GK" }
+
+// Add implements Summary.
+func (s *GK) Add(x float64) {
+	s.buf = append(s.buf, x)
+	if len(s.buf) == cap(s.buf) {
+		s.flush()
+	}
+}
+
+// flush sorts the pending buffer and merges it into the tuple array in one
+// linear pass, then compresses.
+func (s *GK) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	s.n += float64(len(s.buf))
+	errBudget := math.Floor(2 * s.eps * s.n)
+	out := make([]gkTuple, 0, len(s.tuples)+len(s.buf))
+	ti := 0
+	for _, v := range s.buf {
+		for ti < len(s.tuples) && s.tuples[ti].v <= v {
+			out = append(out, s.tuples[ti])
+			ti++
+		}
+		del := errBudget - 1
+		if del < 0 {
+			del = 0
+		}
+		if len(out) == 0 || ti == len(s.tuples) {
+			del = 0 // endpoints are exact
+		}
+		out = append(out, gkTuple{v: v, g: 1, del: del})
+	}
+	out = append(out, s.tuples[ti:]...)
+	s.tuples = out
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress merges adjacent tuples whose combined span fits in the error
+// budget.
+func (s *GK) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	budget := math.Floor(2 * s.eps * s.n)
+	out := s.tuples[:0]
+	out = append(out, s.tuples[0])
+	for i := 1; i < len(s.tuples)-1; i++ {
+		t := s.tuples[i]
+		next := &s.tuples[i+1]
+		if t.g+next.g+next.del <= budget {
+			next.g += t.g
+		} else {
+			out = append(out, t)
+		}
+	}
+	out = append(out, s.tuples[len(s.tuples)-1])
+	s.tuples = out
+}
+
+// Merge implements Summary. The other summary's tuples are folded in with
+// their uncertainty inflated by this summary's local spread, per the
+// standard GK merge analysis; the result stays a valid ε'-summary with
+// ε' ≤ εa + εb but more tuples.
+func (s *GK) Merge(other Summary) error {
+	o, ok := other.(*GK)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	s.flush()
+	oc := *o // shallow copy so flushing doesn't mutate the argument
+	oc.buf = append([]float64{}, o.buf...)
+	oc.tuples = append([]gkTuple{}, o.tuples...)
+	oc.flush()
+
+	merged := make([]gkTuple, 0, len(s.tuples)+len(oc.tuples))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(oc.tuples) {
+		var t gkTuple
+		var from *[]gkTuple
+		var fi *int
+		var other []gkTuple
+		var oi int
+		if j >= len(oc.tuples) || (i < len(s.tuples) && s.tuples[i].v <= oc.tuples[j].v) {
+			from, fi, other, oi = &s.tuples, &i, oc.tuples, j
+		} else {
+			from, fi, other, oi = &oc.tuples, &j, s.tuples, i
+		}
+		t = (*from)[*fi]
+		// Inflate Δ by the uncertainty of the other summary around this
+		// value: the successor tuple's g+Δ-1 (zero past its end).
+		if oi < len(other) {
+			extra := other[oi].g + other[oi].del - 1
+			if extra > 0 {
+				t.del += extra
+			}
+		}
+		merged = append(merged, t)
+		*fi++
+	}
+	s.tuples = merged
+	s.n += oc.n
+	s.compress()
+	return nil
+}
+
+// Quantile implements Summary.
+func (s *GK) Quantile(phi float64) float64 {
+	s.flush()
+	if len(s.tuples) == 0 {
+		return math.NaN()
+	}
+	r := phi * s.n
+	bound := s.eps * s.n
+	rmin := 0.0
+	for i, t := range s.tuples {
+		rmin += t.g
+		if rmin+t.del > r+bound {
+			if i > 0 {
+				return s.tuples[i-1].v
+			}
+			return t.v
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// Count implements Summary.
+func (s *GK) Count() float64 { return s.n + float64(len(s.buf)) }
+
+// SizeBytes implements Summary: tuples at 3 floats each plus pending buffer
+// and header.
+func (s *GK) SizeBytes() int { return 16 + 24*len(s.tuples) + 8*len(s.buf) }

@@ -1,0 +1,69 @@
+package sketch
+
+import (
+	"math"
+
+	"repro/moments"
+)
+
+// MSketch adapts the public moments.Sketch to the Summary interface so the
+// harness can benchmark it head-to-head with the baselines.
+type MSketch struct {
+	S *moments.Sketch
+}
+
+// NewMSketch returns a moments sketch summary of order k.
+func NewMSketch(k int) *MSketch {
+	return &MSketch{S: moments.New(moments.WithK(k))}
+}
+
+// Name implements Summary.
+func (m *MSketch) Name() string { return "M-Sketch" }
+
+// Add implements Summary.
+func (m *MSketch) Add(x float64) { m.S.Add(x) }
+
+// Merge implements Summary.
+func (m *MSketch) Merge(other Summary) error {
+	o, ok := other.(*MSketch)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	return m.S.Merge(o.S)
+}
+
+// Quantile implements Summary. Solver failures (near-discrete data) fall
+// back to the midpoint of the guaranteed rank-bound interval, mirroring how
+// an engine integration degrades.
+func (m *MSketch) Quantile(phi float64) float64 {
+	if m.S.Count() == 0 {
+		return math.NaN()
+	}
+	q, err := m.S.Quantile(phi)
+	if err != nil {
+		return m.boundFallback(phi)
+	}
+	return q
+}
+
+// boundFallback inverts the guaranteed rank bounds by bisection on the
+// midpoint rank — crude, but always available.
+func (m *MSketch) boundFallback(phi float64) float64 {
+	lo, hi := m.S.Min(), m.S.Max()
+	for i := 0; i < 40 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		blo, bhi := m.S.RankBounds(mid)
+		if (blo+bhi)/2 < phi {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Count implements Summary.
+func (m *MSketch) Count() float64 { return m.S.Count() }
+
+// SizeBytes implements Summary.
+func (m *MSketch) SizeBytes() int { return m.S.SizeBytes() }

@@ -1,0 +1,52 @@
+package sketch
+
+import "fmt"
+
+// Families instantiates the full set of summaries the paper benchmarks,
+// each at a given size parameter. The parameter interpretation per family:
+//
+//	M-Sketch: order k
+//	Merge12:  buffer size k
+//	RandomW:  buffer size s
+//	GK:       1/ε (e.g. 60 → ε = 1/60)
+//	T-Digest: compression
+//	Sampling: reservoir size
+//	S-Hist:   bins
+//	EW-Hist:  bins
+func Families(param map[string]int) []Factory {
+	p := func(name string, def int) int {
+		if v, ok := param[name]; ok {
+			return v
+		}
+		return def
+	}
+	return []Factory{
+		{Name: "M-Sketch", Param: fmt.Sprintf("k=%d", p("M-Sketch", 10)),
+			New: func() Summary { return NewMSketch(p("M-Sketch", 10)) }},
+		{Name: "Merge12", Param: fmt.Sprintf("k=%d", p("Merge12", 32)),
+			New: func() Summary { return NewMerge12(p("Merge12", 32)) }},
+		{Name: "RandomW", Param: fmt.Sprintf("s=%d", p("RandomW", 40)),
+			New: func() Summary { return NewRandomW(p("RandomW", 40)) }},
+		{Name: "GK", Param: fmt.Sprintf("eps=1/%d", p("GK", 60)),
+			New: func() Summary { return NewGK(1 / float64(p("GK", 60))) }},
+		{Name: "T-Digest", Param: fmt.Sprintf("c=%d", p("T-Digest", 50)),
+			New: func() Summary { return NewTDigest(float64(p("T-Digest", 50))) }},
+		{Name: "Sampling", Param: fmt.Sprintf("n=%d", p("Sampling", 1000)),
+			New: func() Summary { return NewSampling(p("Sampling", 1000)) }},
+		{Name: "S-Hist", Param: fmt.Sprintf("b=%d", p("S-Hist", 100)),
+			New: func() Summary { return NewSHist(p("S-Hist", 100)) }},
+		{Name: "EW-Hist", Param: fmt.Sprintf("b=%d", p("EW-Hist", 100)),
+			New: func() Summary { return NewEWHist(p("EW-Hist", 100)) }},
+	}
+}
+
+// Family returns a factory for one named family at the given parameter, or
+// an error for unknown names.
+func Family(name string, param int) (Factory, error) {
+	for _, f := range Families(map[string]int{name: param}) {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Factory{}, fmt.Errorf("sketch: unknown summary family %q", name)
+}

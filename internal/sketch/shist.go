@@ -1,0 +1,176 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// SHist is the Ben-Haim & Tom-Tov streaming histogram [12] — the default
+// approximate-quantile aggregator in Druid that the paper benchmarks as
+// S-Hist. It maintains at most B (centroid, count) bins; inserting beyond B
+// merges the closest adjacent pair. Quantiles invert the trapezoidal
+// cumulative-sum interpolation from the BHT paper.
+type SHist struct {
+	bins     int
+	cs       []shBin // sorted by p
+	n        float64
+	min, max float64
+}
+
+type shBin struct {
+	p float64 // centroid position
+	m float64 // mass
+}
+
+// NewSHist returns a streaming histogram with the given number of bins.
+func NewSHist(bins int) *SHist {
+	if bins < 2 {
+		bins = 2
+	}
+	return &SHist{bins: bins, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Name implements Summary.
+func (h *SHist) Name() string { return "S-Hist" }
+
+// Add implements Summary.
+func (h *SHist) Add(x float64) {
+	h.n++
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	i := sort.Search(len(h.cs), func(i int) bool { return h.cs[i].p >= x })
+	if i < len(h.cs) && h.cs[i].p == x {
+		h.cs[i].m++
+		return
+	}
+	h.cs = append(h.cs, shBin{})
+	copy(h.cs[i+1:], h.cs[i:])
+	h.cs[i] = shBin{p: x, m: 1}
+	if len(h.cs) > h.bins {
+		h.reduce()
+	}
+}
+
+// reduce merges the closest adjacent pair until the bin budget holds.
+func (h *SHist) reduce() {
+	for len(h.cs) > h.bins {
+		best, bestGap := 0, math.Inf(1)
+		for i := 0; i+1 < len(h.cs); i++ {
+			if gap := h.cs[i+1].p - h.cs[i].p; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		a, b := h.cs[best], h.cs[best+1]
+		m := a.m + b.m
+		h.cs[best] = shBin{p: (a.p*a.m + b.p*b.m) / m, m: m}
+		h.cs = append(h.cs[:best+1], h.cs[best+2:]...)
+	}
+}
+
+// Merge implements Summary (BHT "merge" procedure: union then reduce).
+func (h *SHist) Merge(other Summary) error {
+	o, ok := other.(*SHist)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	merged := make([]shBin, 0, len(h.cs)+len(o.cs))
+	i, j := 0, 0
+	for i < len(h.cs) && j < len(o.cs) {
+		if h.cs[i].p <= o.cs[j].p {
+			merged = append(merged, h.cs[i])
+			i++
+		} else {
+			merged = append(merged, o.cs[j])
+			j++
+		}
+	}
+	merged = append(merged, h.cs[i:]...)
+	merged = append(merged, o.cs[j:]...)
+	h.cs = merged
+	h.n += o.n
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.reduce()
+	return nil
+}
+
+// cumulative returns the estimated number of points ≤ t under the BHT
+// trapezoid model, with linear ramps from min to the first centroid and
+// from the last centroid to max.
+func (h *SHist) cumulative(t float64) float64 {
+	if len(h.cs) == 0 {
+		return 0
+	}
+	if t >= h.max {
+		return h.n
+	}
+	if t < h.min {
+		return 0
+	}
+	cum := 0.0
+	// Ramp below the first centroid: half of m_0 spreads over [min, p_0].
+	first := h.cs[0]
+	if t < first.p {
+		if first.p == h.min {
+			return 0
+		}
+		z := (t - h.min) / (first.p - h.min)
+		return first.m / 2 * z * z // triangular ramp
+	}
+	cum = first.m / 2
+	for i := 0; i+1 < len(h.cs); i++ {
+		a, b := h.cs[i], h.cs[i+1]
+		if t >= b.p {
+			cum += (a.m + b.m) / 2
+			continue
+		}
+		// t falls inside (a.p, b.p): trapezoid with densities ∝ a.m → b.m.
+		z := (t - a.p) / (b.p - a.p)
+		mT := a.m + (b.m-a.m)*z
+		cum += (a.m + mT) / 2 * z
+		return cum
+	}
+	// Above the last centroid: remaining half-mass ramps to max.
+	last := h.cs[len(h.cs)-1]
+	if h.max > last.p {
+		z := (t - last.p) / (h.max - last.p)
+		cum += last.m / 2 * (2 - z) * z // decreasing triangular ramp
+	}
+	if cum > h.n {
+		cum = h.n
+	}
+	return cum
+}
+
+// Quantile implements Summary by inverting the cumulative sum with
+// bisection (the cumulative is monotone piecewise-quadratic).
+func (h *SHist) Quantile(phi float64) float64 {
+	if len(h.cs) == 0 {
+		return math.NaN()
+	}
+	target := phi * h.n
+	lo, hi := h.min, h.max
+	for i := 0; i < 60 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		if h.cumulative(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Count implements Summary.
+func (h *SHist) Count() float64 { return h.n }
+
+// SizeBytes implements Summary.
+func (h *SHist) SizeBytes() int { return 32 + 16*len(h.cs) }

@@ -1,0 +1,285 @@
+package sketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// epsAvg computes the paper's ε_avg error metric over 21 φ values.
+func epsAvg(sorted []float64, q func(float64) float64) float64 {
+	n := float64(len(sorted))
+	total := 0.0
+	for i := 0; i <= 20; i++ {
+		phi := 0.01 + 0.049*float64(i)
+		est := q(phi)
+		rank := float64(sort.SearchFloat64s(sorted, est)) / n
+		total += math.Abs(rank - phi)
+	}
+	return total / 21
+}
+
+type gen struct {
+	name string
+	fn   func(*rand.Rand) float64
+}
+
+func generators() []gen {
+	return []gen{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }},
+		{"gaussian", func(r *rand.Rand) float64 { return r.NormFloat64() }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 1.5) }},
+	}
+}
+
+// Accuracy budgets per family for direct (non-merged) streams of 50k items
+// at the default parameters. Histograms are allowed more on long tails —
+// exactly the weakness the paper shows in Fig. 7.
+func accuracyBudget(family, dist string) float64 {
+	switch family {
+	case "Sampling":
+		return 0.05 // 1000 samples → ~1/√1000 noise
+	case "EW-Hist", "S-Hist":
+		if dist == "lognormal" || dist == "exponential" {
+			return 0.3
+		}
+		return 0.05
+	case "M-Sketch":
+		return 0.02
+	default:
+		return 0.03
+	}
+}
+
+func TestAllSummariesAccuracyDirect(t *testing.T) {
+	for _, g := range generators() {
+		for _, f := range Families(nil) {
+			rng := rand.New(rand.NewPCG(1, 2))
+			s := f.New()
+			data := make([]float64, 50000)
+			for i := range data {
+				data[i] = g.fn(rng)
+				s.Add(data[i])
+			}
+			sort.Float64s(data)
+			e := epsAvg(data, s.Quantile)
+			if budget := accuracyBudget(f.Name, g.name); e > budget {
+				t.Errorf("%s on %s: ε_avg = %.4f > %.4f", f.Name, g.name, e, budget)
+			}
+			if s.Count() != 50000 {
+				t.Errorf("%s: Count = %v, want 50000", f.Name, s.Count())
+			}
+			if s.SizeBytes() <= 0 {
+				t.Errorf("%s: SizeBytes = %d", f.Name, s.SizeBytes())
+			}
+		}
+	}
+}
+
+// Mergeability: accuracy must survive aggregating many small pre-computed
+// summaries — the paper's core requirement (§3.2).
+func TestAllSummariesAccuracyMerged(t *testing.T) {
+	const cells, cellSize = 200, 200
+	for _, g := range generators() {
+		for _, f := range Families(nil) {
+			rng := rand.New(rand.NewPCG(3, 4))
+			data := make([]float64, cells*cellSize)
+			parts := make([]Summary, cells)
+			for c := 0; c < cells; c++ {
+				parts[c] = f.New()
+				for i := 0; i < cellSize; i++ {
+					x := g.fn(rng)
+					data[c*cellSize+i] = x
+					parts[c].Add(x)
+				}
+			}
+			root := f.New()
+			for _, p := range parts {
+				if err := root.Merge(p); err != nil {
+					t.Fatalf("%s: merge: %v", f.Name, err)
+				}
+			}
+			if got := root.Count(); math.Abs(got-float64(cells*cellSize)) > 0.5 {
+				t.Errorf("%s on %s: merged Count = %v, want %d", f.Name, g.name, got, cells*cellSize)
+			}
+			sort.Float64s(data)
+			e := epsAvg(data, root.Quantile)
+			// Allow slack over the direct budget: randomized summaries pay
+			// some accuracy for merging.
+			if budget := 2 * accuracyBudget(f.Name, g.name); e > budget {
+				t.Errorf("%s on %s (merged): ε_avg = %.4f > %.4f", f.Name, g.name, e, budget)
+			}
+		}
+	}
+}
+
+func TestMergeTypeMismatch(t *testing.T) {
+	fams := Families(nil)
+	for i, f := range fams {
+		s := f.New()
+		other := fams[(i+1)%len(fams)].New()
+		if err := s.Merge(other); err != ErrTypeMismatch {
+			t.Errorf("%s: Merge(%s) err = %v, want ErrTypeMismatch", f.Name, other.Name(), err)
+		}
+	}
+}
+
+func TestEmptySummaries(t *testing.T) {
+	for _, f := range Families(nil) {
+		s := f.New()
+		if c := s.Count(); c != 0 {
+			t.Errorf("%s: empty Count = %v", f.Name, c)
+		}
+		if q := s.Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("%s: empty Quantile = %v, want NaN", f.Name, q)
+		}
+		// Merging two empties must not panic and stay empty.
+		if err := s.Merge(f.New()); err != nil {
+			t.Errorf("%s: merging empties: %v", f.Name, err)
+		}
+		if c := s.Count(); c != 0 {
+			t.Errorf("%s: Count after empty merge = %v", f.Name, c)
+		}
+	}
+}
+
+func TestMergeEmptyIntoNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, f := range Families(nil) {
+		s := f.New()
+		for i := 0; i < 1000; i++ {
+			s.Add(rng.Float64())
+		}
+		before := s.Quantile(0.5)
+		if err := s.Merge(f.New()); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		after := s.Quantile(0.5)
+		if math.Abs(before-after) > 1e-9 {
+			t.Errorf("%s: merging empty changed quantile %v -> %v", f.Name, before, after)
+		}
+		if s.Count() != 1000 {
+			t.Errorf("%s: count = %v", f.Name, s.Count())
+		}
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, f := range Families(nil) {
+		s := f.New()
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 5000; i++ {
+			x := rng.NormFloat64() * 10
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			s.Add(x)
+		}
+		q0, q1 := s.Quantile(0), s.Quantile(1)
+		span := hi - lo
+		if q0 < lo-0.05*span || q1 > hi+0.05*span {
+			t.Errorf("%s: extreme quantiles [%v,%v] outside data range [%v,%v]",
+				f.Name, q0, q1, lo, hi)
+		}
+		if q0 > q1 {
+			t.Errorf("%s: Quantile(0)=%v > Quantile(1)=%v", f.Name, q0, q1)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, f := range Families(nil) {
+		s := f.New()
+		for i := 0; i < 20000; i++ {
+			s.Add(rng.ExpFloat64() * 10)
+		}
+		prev := math.Inf(-1)
+		for i := 0; i <= 20; i++ {
+			phi := float64(i) / 20
+			q := s.Quantile(phi)
+			if q < prev-1e-9 {
+				t.Errorf("%s: quantile not monotone at φ=%v: %v < %v", f.Name, phi, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+// GK grows on heterogeneous merges — the paper's stated reason it is "not
+// usually considered mergeable".
+func TestGKGrowsOnMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	single := NewGK(1.0 / 50)
+	for i := 0; i < 20000; i++ {
+		single.Add(rng.NormFloat64())
+	}
+	single.flush()
+	singleSize := single.SizeBytes()
+
+	merged := NewGK(1.0 / 50)
+	for c := 0; c < 100; c++ {
+		part := NewGK(1.0 / 50)
+		for i := 0; i < 200; i++ {
+			part.Add(rng.NormFloat64() + float64(c%7)) // heterogeneous cells
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.SizeBytes() < singleSize {
+		t.Errorf("expected merged GK (%dB) to be at least direct GK (%dB)",
+			merged.SizeBytes(), singleSize)
+	}
+}
+
+// The moments sketch must be the smallest and have data-independent size.
+func TestMSketchFixedSize(t *testing.T) {
+	s := NewMSketch(10)
+	size0 := s.SizeBytes()
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 100000; i++ {
+		s.Add(math.Exp(rng.NormFloat64() * 3))
+	}
+	if s.SizeBytes() != size0 {
+		t.Errorf("M-Sketch size changed: %d -> %d", size0, s.SizeBytes())
+	}
+	if size0 >= 200 {
+		t.Errorf("M-Sketch k=10 size = %dB, want < 200B", size0)
+	}
+}
+
+func TestFamilyLookup(t *testing.T) {
+	f, err := Family("GK", 40)
+	if err != nil || f.Name != "GK" {
+		t.Errorf("Family(GK) = %+v, %v", f, err)
+	}
+	if _, err := Family("nope", 1); err == nil {
+		t.Error("unknown family must error")
+	}
+}
+
+// Integer data: the retail-style discretization case (§6.2.3) — estimates
+// rounded to integers should stay accurate for mid quantiles.
+func TestIntegerData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	for _, f := range Families(nil) {
+		s := f.New()
+		data := make([]float64, 30000)
+		for i := range data {
+			data[i] = math.Floor(rng.ExpFloat64()*8) + 1
+			s.Add(data[i])
+		}
+		sort.Float64s(data)
+		q := math.Round(s.Quantile(0.5))
+		rank := float64(sort.SearchFloat64s(data, q)) / float64(len(data))
+		rankAfter := float64(sort.SearchFloat64s(data, q+1)) / float64(len(data))
+		// The rounded median must land on a value whose rank interval
+		// contains 0.5, give or take one integer step.
+		if !(rank <= 0.65 && rankAfter >= 0.35) {
+			t.Errorf("%s: integer median %v has rank window [%v,%v]", f.Name, q, rank, rankAfter)
+		}
+	}
+}

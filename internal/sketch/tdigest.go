@@ -1,0 +1,160 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// TDigest is Dunning's merging t-digest [28]: centroids sized by the
+// k1 scale function k(q) = (C/2π)·asin(2q−1), which concentrates resolution
+// at the tails. Adds buffer into a scratch list and compress on overflow;
+// merges append the other digest's centroids and recompress.
+type TDigest struct {
+	compression float64
+	cs          []tdCentroid // sorted by mean
+	buf         []tdCentroid
+	n           float64
+	min, max    float64
+}
+
+type tdCentroid struct {
+	mean  float64
+	count float64
+}
+
+// NewTDigest returns a t-digest with the given compression parameter
+// (larger = more centroids = more accurate).
+func NewTDigest(compression float64) *TDigest {
+	if compression < 10 {
+		compression = 10
+	}
+	return &TDigest{
+		compression: compression,
+		buf:         make([]tdCentroid, 0, int(4*compression)),
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Name implements Summary.
+func (t *TDigest) Name() string { return "T-Digest" }
+
+// Add implements Summary.
+func (t *TDigest) Add(x float64) {
+	t.buf = append(t.buf, tdCentroid{mean: x, count: 1})
+	t.n++
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	if len(t.buf) == cap(t.buf) {
+		t.compress()
+	}
+}
+
+// scaleK is the k1 scale function.
+func (t *TDigest) scaleK(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return t.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// compress merges buffered points and existing centroids into a fresh
+// centroid list respecting the scale-function size limits.
+func (t *TDigest) compress() {
+	if len(t.buf) == 0 {
+		return
+	}
+	all := append(t.cs, t.buf...)
+	sort.Slice(all, func(i, j int) bool { return all[i].mean < all[j].mean })
+	t.buf = t.buf[:0]
+	total := 0.0
+	for _, c := range all {
+		total += c.count
+	}
+	out := make([]tdCentroid, 0, int(t.compression)+8)
+	cur := all[0]
+	soFar := 0.0
+	kLeft := t.scaleK(0)
+	for _, c := range all[1:] {
+		qRight := (soFar + cur.count + c.count) / total
+		if t.scaleK(qRight)-kLeft <= 1 {
+			// Absorb into the current centroid (weighted mean).
+			m := cur.count + c.count
+			cur.mean += (c.mean - cur.mean) * c.count / m
+			cur.count = m
+		} else {
+			out = append(out, cur)
+			soFar += cur.count
+			kLeft = t.scaleK(soFar / total)
+			cur = c
+		}
+	}
+	out = append(out, cur)
+	t.cs = out
+}
+
+// Merge implements Summary.
+func (t *TDigest) Merge(other Summary) error {
+	o, ok := other.(*TDigest)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	t.buf = append(t.buf, o.cs...)
+	t.buf = append(t.buf, o.buf...)
+	t.n += o.n
+	if o.min < t.min {
+		t.min = o.min
+	}
+	if o.max > t.max {
+		t.max = o.max
+	}
+	t.compress()
+	return nil
+}
+
+// Quantile implements Summary, interpolating between centroid means with
+// the half-count convention and exact endpoints.
+func (t *TDigest) Quantile(phi float64) float64 {
+	t.compress()
+	if len(t.cs) == 0 {
+		return math.NaN()
+	}
+	if len(t.cs) == 1 {
+		return t.cs[0].mean
+	}
+	index := phi * t.n
+	if index <= 0.5 {
+		return t.min
+	}
+	if index >= t.n-0.5 {
+		return t.max
+	}
+	// Cumulative count at each centroid's mean is soFar + count/2.
+	soFar := 0.0
+	prevMean, prevCum := t.min, 0.5
+	for _, c := range t.cs {
+		cum := soFar + c.count/2
+		if index <= cum {
+			f := (index - prevCum) / (cum - prevCum)
+			return prevMean + f*(c.mean-prevMean)
+		}
+		prevMean, prevCum = c.mean, cum
+		soFar += c.count
+	}
+	f := (index - prevCum) / (t.n - 0.5 - prevCum)
+	return prevMean + f*(t.max-prevMean)
+}
+
+// Count implements Summary.
+func (t *TDigest) Count() float64 { return t.n }
+
+// SizeBytes implements Summary: centroids at 16 bytes plus min/max/count
+// header. Buffered points are transient and flushed before storage.
+func (t *TDigest) SizeBytes() int { return 32 + 16*len(t.cs) + 16*len(t.buf) }

@@ -1,0 +1,127 @@
+// Package window implements the paper's sliding-window alerting workflow
+// (§7.2.2, Fig. 14): data pre-aggregated into fixed panes, queried for the
+// windows whose high quantile exceeds a threshold. The moments sketch scans
+// windows with turnstile semantics — subtract the expiring pane's power
+// sums, add the arriving pane's — plus the threshold cascade, so each slide
+// costs two vector additions instead of re-merging the whole window. A
+// generic Summary-based scanner re-merges every window for comparison.
+package window
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+)
+
+// Result reports which windows fired and where the time went.
+type Result struct {
+	// Hot holds the starting pane index of each window whose φ-quantile
+	// exceeded the threshold.
+	Hot []int
+	// MergeTime covers pane merge/subtract work; EstTime covers threshold
+	// resolution.
+	MergeTime time.Duration
+	EstTime   time.Duration
+	Stats     cascade.Stats
+}
+
+// ScanMoments slides a window of `width` panes across moments-sketch panes,
+// reporting every window whose φ-quantile exceeds t. Pane sketches are not
+// modified. Min/max for the live window are recomputed from the panes after
+// each turnstile update, which keeps the sketch's support tight (Sub cannot
+// shrink it).
+func ScanMoments(panes []*core.Sketch, width int, t, phi float64, cfg cascade.Config, solver maxent.Options) (*Result, error) {
+	res := &Result{}
+	if width <= 0 || len(panes) < width {
+		return res, nil
+	}
+	start := time.Now()
+	cur := core.New(panes[0].K)
+	for _, p := range panes[:width] {
+		if err := cur.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	res.MergeTime += time.Since(start)
+
+	cfg.Solver = solver
+	for w := 0; ; w++ {
+		// Tighten the tracked range to the live panes before estimating.
+		lo, hi := paneRange(panes[w : w+width])
+		cur.TightenRange(lo, hi)
+
+		est := time.Now()
+		// A solver failure still yields a bound-based fallback decision
+		// from the cascade; only structural errors (empty sketch) abort.
+		above, err := cascade.Threshold(cur, t, phi, cfg, &res.Stats)
+		if err != nil && errors.Is(err, core.ErrEmpty) {
+			return nil, err
+		}
+		res.EstTime += time.Since(est)
+		if above {
+			res.Hot = append(res.Hot, w)
+		}
+
+		if w+width >= len(panes) {
+			break
+		}
+		mrg := time.Now()
+		if err := cur.Sub(panes[w]); err != nil {
+			return nil, err
+		}
+		// Sub cannot restore min/max; reset to the widest possible before
+		// the next TightenRange pass.
+		cur.Min, cur.Max = lo, hi
+		if err := cur.Merge(panes[w+width]); err != nil {
+			return nil, err
+		}
+		res.MergeTime += time.Since(mrg)
+	}
+	return res, nil
+}
+
+// paneRange returns the min/max across live panes.
+func paneRange(panes []*core.Sketch) (lo, hi float64) {
+	lo, hi = panes[0].Min, panes[0].Max
+	for _, p := range panes[1:] {
+		if p.Min < lo {
+			lo = p.Min
+		}
+		if p.Max > hi {
+			hi = p.Max
+		}
+	}
+	return lo, hi
+}
+
+// ScanSummaries is the non-turnstile comparison path: every window position
+// re-merges all `width` pane summaries from scratch (mergeable summaries
+// generally cannot subtract), then thresholds on the direct quantile
+// estimate.
+func ScanSummaries(panes []sketch.Summary, width int, t, phi float64, factory func() sketch.Summary) (*Result, error) {
+	res := &Result{}
+	if width <= 0 || len(panes) < width {
+		return res, nil
+	}
+	for w := 0; w+width <= len(panes); w++ {
+		mrg := time.Now()
+		cur := factory()
+		for _, p := range panes[w : w+width] {
+			if err := cur.Merge(p); err != nil {
+				return nil, err
+			}
+		}
+		res.MergeTime += time.Since(mrg)
+
+		est := time.Now()
+		if cur.Quantile(phi) > t {
+			res.Hot = append(res.Hot, w)
+		}
+		res.EstTime += time.Since(est)
+	}
+	return res, nil
+}

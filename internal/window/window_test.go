@@ -1,0 +1,178 @@
+package window
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+)
+
+// buildPanes creates panes of exponential data with spikes injected into
+// known windows, mirroring the Fig. 14 setup.
+func buildPanes(nPanes, paneSize int, spikeAt []int, spikeVal float64) ([]*core.Sketch, [][]float64) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	panes := make([]*core.Sketch, nPanes)
+	raw := make([][]float64, nPanes)
+	spike := map[int]bool{}
+	for _, s := range spikeAt {
+		spike[s] = true
+	}
+	for p := 0; p < nPanes; p++ {
+		panes[p] = core.New(10)
+		for i := 0; i < paneSize; i++ {
+			v := rng.ExpFloat64() * 100
+			if spike[p] && rng.Float64() < 0.3 {
+				v = spikeVal * (1 + rng.Float64()*0.2)
+			}
+			panes[p].Add(v)
+			raw[p] = append(raw[p], v)
+		}
+	}
+	return panes, raw
+}
+
+// trueHotWindows computes ground truth by sorting each window's raw data.
+func trueHotWindows(raw [][]float64, width int, t, phi float64) []int {
+	var hot []int
+	for w := 0; w+width <= len(raw); w++ {
+		var all []float64
+		for _, pane := range raw[w : w+width] {
+			all = append(all, pane...)
+		}
+		sort.Float64s(all)
+		q := all[int(phi*float64(len(all)))]
+		if q > t {
+			hot = append(hot, w)
+		}
+	}
+	return hot
+}
+
+func TestScanMomentsFindsSpikes(t *testing.T) {
+	panes, raw := buildPanes(60, 400, []int{20, 21, 40}, 2000)
+	const width, thresh, phi = 6, 1500.0, 0.99
+	res, err := ScanMoments(panes, width, thresh, phi, cascade.Full(), maxent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueHotWindows(raw, width, thresh, phi)
+	if len(truth) == 0 {
+		t.Fatal("vacuous: no true hot windows")
+	}
+	// Compare as sets with tolerance for one marginal window at each edge.
+	if d := intSetDiff(res.Hot, truth); d > 2 {
+		t.Errorf("hot windows %v vs truth %v (diff %d)", res.Hot, truth, d)
+	}
+	if res.Stats.Queries != 60-width+1 {
+		t.Errorf("queries = %d, want %d", res.Stats.Queries, 60-width+1)
+	}
+}
+
+func TestScanMomentsMatchesRemergeScan(t *testing.T) {
+	// Turnstile updates must agree with re-merging each window from
+	// scratch — the correctness claim behind the 13× speedup.
+	panes, _ := buildPanes(40, 300, []int{10}, 3000)
+	const width, thresh, phi = 5, 1500.0, 0.95
+	fast, err := ScanMoments(panes, width, thresh, phi, cascade.Full(), maxent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slowHot []int
+	for w := 0; w+width <= len(panes); w++ {
+		cur := core.New(10)
+		for _, p := range panes[w : w+width] {
+			if err := cur.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		above, err := cascade.Threshold(cur, thresh, phi, cascade.Full(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			slowHot = append(slowHot, w)
+		}
+	}
+	if d := intSetDiff(fast.Hot, slowHot); d > 0 {
+		t.Errorf("turnstile scan %v != re-merge scan %v", fast.Hot, slowHot)
+	}
+}
+
+func TestScanSummariesAgrees(t *testing.T) {
+	panes, raw := buildPanes(40, 300, []int{15, 16}, 2500)
+	const width, thresh, phi = 5, 1500.0, 0.99
+	sumPanes := make([]sketch.Summary, len(panes))
+	rng := rand.New(rand.NewPCG(31, 37)) // same stream as buildPanes
+	_ = rng
+	for i, r := range raw {
+		m := sketch.NewMerge12(32)
+		for _, v := range r {
+			m.Add(v)
+		}
+		sumPanes[i] = m
+		_ = panes[i]
+	}
+	res, err := ScanSummaries(sumPanes, width, thresh, phi,
+		func() sketch.Summary { return sketch.NewMerge12(32) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueHotWindows(raw, width, thresh, phi)
+	if d := intSetDiff(res.Hot, truth); d > 2 {
+		t.Errorf("summary scan %v vs truth %v", res.Hot, truth)
+	}
+}
+
+func TestScanDegenerateInputs(t *testing.T) {
+	res, err := ScanMoments(nil, 5, 1, 0.5, cascade.Full(), maxent.Options{})
+	if err != nil || len(res.Hot) != 0 {
+		t.Errorf("empty panes: %+v, %v", res, err)
+	}
+	panes, _ := buildPanes(3, 50, nil, 0)
+	res, err = ScanMoments(panes, 5, 1, 0.5, cascade.Full(), maxent.Options{})
+	if err != nil || len(res.Hot) != 0 {
+		t.Errorf("width > panes: %+v, %v", res, err)
+	}
+	res, err = ScanSummaries(nil, 3, 1, 0.5, func() sketch.Summary { return sketch.NewMerge12(8) })
+	if err != nil || len(res.Hot) != 0 {
+		t.Errorf("empty summary panes: %+v, %v", res, err)
+	}
+}
+
+func TestExactWindowWidthSingleWindow(t *testing.T) {
+	panes, _ := buildPanes(4, 100, []int{0, 1, 2, 3}, 5000)
+	res, err := ScanMoments(panes, 4, 1500, 0.5, cascade.Full(), maxent.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Queries != 1 {
+		t.Errorf("single-window scan ran %d queries", res.Stats.Queries)
+	}
+}
+
+func intSetDiff(a, b []int) int {
+	am := map[int]bool{}
+	for _, x := range a {
+		am[x] = true
+	}
+	bm := map[int]bool{}
+	for _, x := range b {
+		bm[x] = true
+	}
+	d := 0
+	for x := range am {
+		if !bm[x] {
+			d++
+		}
+	}
+	for x := range bm {
+		if !am[x] {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,108 @@
+package moments
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHistogramUniform(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := New()
+	for i := 0; i < 50000; i++ {
+		s.Add(rng.Float64() * 10)
+	}
+	buckets, err := s.Histogram(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 10 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	total := 0.0
+	for i, b := range buckets {
+		total += b.Fraction
+		// Uniform data: each bucket holds ~10%.
+		if math.Abs(b.Fraction-0.1) > 0.03 {
+			t.Errorf("bucket %d fraction = %v, want ~0.1", i, b.Fraction)
+		}
+		if b.Hi <= b.Lo {
+			t.Errorf("bucket %d edges inverted: [%v,%v]", i, b.Lo, b.Hi)
+		}
+		if i > 0 && math.Abs(b.Lo-buckets[i-1].Hi) > 1e-9 {
+			t.Errorf("bucket %d not contiguous", i)
+		}
+	}
+	if math.Abs(total-1) > 0.01 {
+		t.Errorf("fractions sum to %v", total)
+	}
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	s := New()
+	for i := 0; i < 50000; i++ {
+		s.Add(rng.ExpFloat64())
+	}
+	buckets, err := s.Histogram(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential: first bucket must dominate the last.
+	if buckets[0].Fraction < 10*buckets[len(buckets)-1].Fraction {
+		t.Errorf("skew not visible: first %v vs last %v",
+			buckets[0].Fraction, buckets[len(buckets)-1].Fraction)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	s := New()
+	s.AddMany([]float64{1, 2, 3})
+	if _, err := s.Histogram(0); err == nil {
+		t.Error("zero buckets must error")
+	}
+	empty := New()
+	if _, err := empty.Histogram(5); err == nil {
+		t.Error("empty sketch must error")
+	}
+}
+
+func TestMergeMany(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	parts := make([]*Sketch, 5)
+	total := 0.0
+	for i := range parts {
+		parts[i] = New(WithK(8))
+		for j := 0; j < 1000; j++ {
+			parts[i].Add(rng.NormFloat64())
+			total++
+		}
+	}
+	merged, err := MergeMany(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != total {
+		t.Errorf("count %v, want %v", merged.Count(), total)
+	}
+	if merged.K() != 8 {
+		t.Errorf("K = %d, want inherited 8", merged.K())
+	}
+	// Nil entries skipped.
+	merged2, err := MergeMany(nil, parts[0], nil, parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged2.Count() != 2000 {
+		t.Errorf("count with nils = %v", merged2.Count())
+	}
+	// No inputs: empty default sketch.
+	emptyOut, err := MergeMany()
+	if err != nil || emptyOut.Count() != 0 || emptyOut.K() != DefaultK {
+		t.Errorf("MergeMany() = %v/%v, %v", emptyOut.Count(), emptyOut.K(), err)
+	}
+	// Mismatched orders error.
+	if _, err := MergeMany(parts[0], New(WithK(3))); err == nil {
+		t.Error("order mismatch must error")
+	}
+}
