@@ -1,0 +1,171 @@
+// Command momentsd is a long-running HTTP aggregation server backed by a
+// sharded store of per-key moments sketches. It ingests (key, value)
+// observations and answers quantile, rollup and threshold queries over any
+// key or key prefix — the paper's high-cardinality aggregation workload as
+// a service.
+//
+// Usage:
+//
+//	momentsd [-addr :7607] [-k 10] [-shards N] [-sep .]
+//	         [-snapshot FILE] [-snapshot-interval DUR]
+//
+// With -snapshot, the store is restored from FILE at startup (when the file
+// exists) and saved back on shutdown; -snapshot-interval additionally saves
+// periodically. Snapshots are written to a temp file and renamed, so a
+// crash mid-save never corrupts the previous snapshot.
+//
+// Endpoints (see internal/server for details):
+//
+//	curl -XPOST localhost:7607/ingest -d '{"observations":[{"key":"us.web","value":12.5}]}'
+//	curl 'localhost:7607/quantile?key=us.web&q=0.5,0.99'
+//	curl 'localhost:7607/merge?prefix=us.&q=0.99&groupby=1'
+//	curl 'localhost:7607/threshold?prefix=us.&t=100&phi=0.99'
+//	curl 'localhost:7607/stats'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7607", "listen address")
+		order        = flag.Int("k", 10, "moments sketch order")
+		shards       = flag.Int("shards", 0, "lock stripes (0 = 8×GOMAXPROCS, rounded to a power of two)")
+		sep          = flag.String("sep", ".", "key segment separator for /merge group-bys")
+		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
+		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
+	)
+	flag.Parse()
+
+	if *order < 1 || *order > core.MaxK {
+		log.Fatalf("momentsd: -k %d outside [1,%d]", *order, core.MaxK)
+	}
+	store := shard.New(shard.WithOrder(*order), shard.WithShards(*shards))
+	if *snapshotPath != "" {
+		if err := loadSnapshot(store, *snapshotPath); err != nil {
+			log.Fatalf("momentsd: restoring snapshot: %v", err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(store, server.WithKeySeparator(*sep)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// snapMu serializes snapshot saves so an in-flight periodic save cannot
+	// finish after — and thereby clobber — the final shutdown snapshot.
+	var snapMu sync.Mutex
+	save := func() error {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		return saveSnapshot(store, *snapshotPath)
+	}
+	if *snapshotPath != "" && *snapInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := save(); err != nil {
+						log.Printf("momentsd: periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("momentsd: listening on %s (k=%d, %d shards)",
+			*addr, store.Order(), store.NumShards())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("momentsd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("momentsd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("momentsd: shutdown: %v", err)
+	}
+	if *snapshotPath != "" {
+		if err := save(); err != nil {
+			log.Fatalf("momentsd: final snapshot: %v", err)
+		}
+		log.Printf("momentsd: snapshot saved to %s", *snapshotPath)
+	}
+}
+
+// loadSnapshot restores the store from path; a missing file is not an
+// error (first boot).
+func loadSnapshot(store *shard.Store, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := store.Restore(f); err != nil {
+		return err
+	}
+	log.Printf("momentsd: restored %d keys (%.0f observations) from %s",
+		store.Len(), store.TotalCount(), path)
+	return nil
+}
+
+// saveSnapshot writes atomically: temp file in the same directory, fsync,
+// rename.
+func saveSnapshot(store *shard.Store, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".momentsd-snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
+	if err := store.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("renaming snapshot into place: %w", err)
+	}
+	return nil
+}

@@ -29,6 +29,24 @@ type Interval struct {
 // Full is the vacuous bound.
 func Full() Interval { return Interval{0, 1} }
 
+// InvertRTT estimates the φ-quantile by bisecting on the midpoint of the
+// RTT rank bounds. Unlike the maximum-entropy estimate it never fails —
+// the shared degradation path for near-discrete data where the solver
+// cannot converge (used by the harness baselines and the serving layer).
+func InvertRTT(sk *core.Sketch, phi float64) float64 {
+	lo, hi := sk.Min, sk.Max
+	for i := 0; i < 60 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		iv := RTT(sk, mid)
+		if (iv.Lo+iv.Hi)/2 < phi {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
 // Intersect returns the tightest interval implied by both bounds. Numeric
 // noise can make guaranteed-sound intervals disjoint by a hair; the result
 // is clamped to a point rather than inverting.

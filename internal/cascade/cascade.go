@@ -1,11 +1,3 @@
-// Package cascade implements Algorithm 2 of the paper: threshold queries
-// ("is the φ-quantile above t?") answered through a sequence of increasingly
-// precise and increasingly expensive estimates — a simple range check, the
-// Markov bounds, the RTT bounds, and finally the full maximum-entropy
-// quantile. Because every bound provably contains the CDF of any
-// distribution matching the sketch's moments — including the maximum-entropy
-// one — the cascade is exactly consistent with computing the maximum-entropy
-// estimate up front, just cheaper (§5.2, Figs. 12–13).
 package cascade
 
 import (

@@ -1,13 +1,9 @@
-// Package cube implements a Druid-like in-memory data cube (paper Fig. 1,
-// §7.1): one pre-aggregated summary per combination of dimension values.
-// Roll-up queries merge the summaries of every cell matching a filter —
-// query time is (cells scanned) × (per-merge cost) + (estimation cost),
-// which is precisely the regime the moments sketch targets. A native sum
-// aggregate is maintained per cell as the lower-bound baseline of Fig. 11.
 package cube
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/sketch"
 )
@@ -54,15 +50,23 @@ type Cube struct {
 	cells   map[uint64]*Cell
 }
 
-// New builds an empty cube. factory creates the per-cell summary.
+// New builds an empty cube. factory creates the per-cell summary. The
+// coordinate space (the product of all cardinalities) must fit in an int,
+// since cell keys are mixed-radix packed — overflow would silently collide
+// distinct coordinates into one cell.
 func New(schema Schema, factory func() sketch.Summary) (*Cube, error) {
 	if len(schema.Dims) == 0 || len(schema.Dims) != len(schema.Card) {
 		return nil, fmt.Errorf("cube: schema dims/card mismatch")
 	}
+	cells := 1
 	for _, c := range schema.Card {
 		if c <= 0 {
 			return nil, fmt.Errorf("cube: non-positive cardinality")
 		}
+		if cells > math.MaxInt/c {
+			return nil, fmt.Errorf("cube: coordinate space overflows (product of cardinalities exceeds %d)", math.MaxInt)
+		}
+		cells *= c
 	}
 	return &Cube{
 		schema:  schema,
@@ -101,6 +105,29 @@ func (c *Cube) Ingest(coords []int, value float64) {
 	cell.Summary.Add(value)
 	cell.Sum += value
 	cell.Count++
+}
+
+// IngestSummary merges a pre-aggregated summary into the cell at coords,
+// creating the cell on first touch. sum and count update the cell's native
+// baseline aggregates alongside. This lets a cube be materialized from
+// summaries maintained outside it (per-key sketches in a shard store,
+// decoded snapshot cells) instead of from raw values.
+func (c *Cube) IngestSummary(coords []int, s sketch.Summary, sum, count float64) error {
+	k := c.key(coords)
+	cell, ok := c.cells[k]
+	if !ok {
+		cell = &Cell{
+			Coords:  append([]int{}, coords...),
+			Summary: c.factory(),
+		}
+		c.cells[k] = cell
+	}
+	if err := cell.Summary.Merge(s); err != nil {
+		return err
+	}
+	cell.Sum += sum
+	cell.Count += count
+	return nil
 }
 
 // NumCells returns the number of materialized cells.
@@ -172,6 +199,62 @@ func (c *Cube) GroupBy(dims []int, filters ...Filter) (map[string]sketch.Summary
 			return nil, err
 		}
 	}
+	return out, nil
+}
+
+// Group is one GroupByCoords result: the merged rollup of every matching
+// cell sharing the same values on the grouped dimensions.
+type Group struct {
+	// Coords holds the group's values on the grouped dimensions, in the
+	// order the dims argument listed them.
+	Coords  []int
+	Summary sketch.Summary
+	// Merges counts the cells rolled into this group.
+	Merges float64
+	// Sum and Count are the native baseline aggregates.
+	Sum, Count float64
+}
+
+// GroupByCoords rolls up matching cells grouped by the given dimensions,
+// like GroupBy, but returns the grouped coordinate values so callers can
+// map groups back to dimension labels. Groups are sorted by coordinate,
+// lexicographically over dims.
+func (c *Cube) GroupByCoords(dims []int, filters ...Filter) ([]Group, error) {
+	byKey := make(map[string]*Group)
+	for _, cell := range c.cells {
+		if !matches(cell, filters) {
+			continue
+		}
+		key := groupKey(cell.Coords, dims)
+		g, ok := byKey[key]
+		if !ok {
+			coords := make([]int, len(dims))
+			for i, d := range dims {
+				coords[i] = cell.Coords[d]
+			}
+			g = &Group{Coords: coords, Summary: c.factory()}
+			byKey[key] = g
+		}
+		if err := g.Summary.Merge(cell.Summary); err != nil {
+			return nil, err
+		}
+		g.Merges++
+		g.Sum += cell.Sum
+		g.Count += cell.Count
+	}
+	out := make([]Group, 0, len(byKey))
+	for _, g := range byKey {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Coords, out[j].Coords
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
 	return out, nil
 }
 

@@ -1,0 +1,15 @@
+// Package cube implements a Druid-like in-memory data cube (paper Fig. 1,
+// §7.1): one pre-aggregated summary per combination of dimension values.
+// Roll-up queries merge the summaries of every cell matching a filter —
+// query time is (cells scanned) × (per-merge cost) + (estimation cost),
+// which is precisely the regime the moments sketch targets. A native sum
+// aggregate is maintained per cell as the lower-bound baseline of Fig. 11.
+//
+// Cells can be populated pointwise (Ingest) or from pre-aggregated
+// summaries (IngestSummary), so a cube can be materialized on the fly from
+// summaries already maintained elsewhere — the serving layer in
+// internal/server does exactly this to answer grouped rollups over a
+// sharded key space. Query merges matching cells into one aggregate;
+// GroupBy and GroupByCoords partition matching cells by a subset of
+// dimensions, the MacroBase-style subgroup enumeration.
+package cube

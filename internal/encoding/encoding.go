@@ -1,7 +1,3 @@
-// Package encoding serializes moments sketches: a compact full-precision
-// binary codec, and the reduced-precision randomized-rounding codec of
-// Appendix C that trades mantissa bits for space when sketches must be
-// stored by the million.
 package encoding
 
 import (

@@ -1,0 +1,71 @@
+package encoding_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/moments"
+)
+
+// TestLowPrecisionQuantileRoundTrip is the end-to-end check for the
+// Appendix C codec: a sketch marshaled at reduced precision and decoded
+// through the public API must still produce quantile estimates of the same
+// quality as the original, and the public UnmarshalBinary must sniff the
+// low-precision magic without being told.
+func TestLowPrecisionQuantileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	n := 20000
+	data := make([]float64, n)
+	s := moments.New()
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64())
+		s.Add(data[i])
+	}
+	sort.Float64s(data)
+
+	for _, mbits := range []int{8, 16, 30} {
+		blob, err := s.MarshalLowPrecision(mbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full, _ := s.MarshalBinary(); len(blob) >= len(full) {
+			t.Errorf("mbits=%d: %d bytes, not smaller than full %d", mbits, len(blob), len(full))
+		}
+		var back moments.Sketch
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("mbits=%d: UnmarshalBinary: %v", mbits, err)
+		}
+		if back.Count() != s.Count() {
+			t.Errorf("mbits=%d: count %v, want %v (header must stay exact)", mbits, back.Count(), s.Count())
+		}
+		for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got, err := back.Quantile(phi)
+			if err != nil {
+				t.Fatalf("mbits=%d phi=%v: %v", mbits, phi, err)
+			}
+			rank := float64(sort.SearchFloat64s(data, got)) / float64(n)
+			if math.Abs(rank-phi) > 0.05 {
+				t.Errorf("mbits=%d phi=%v: estimate %v has sample rank %v", mbits, phi, got, rank)
+			}
+		}
+	}
+}
+
+// The low-precision decoder must reject a stream whose payload bits were
+// truncated even when the header survives.
+func TestLowPrecisionTruncatedPayload(t *testing.T) {
+	s := moments.New()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	blob, err := s.MarshalLowPrecision(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encoding.UnmarshalLowPrecision(blob[:len(blob)-4]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -1,0 +1,29 @@
+// Package server exposes a shard.Store of per-key moments sketches over
+// HTTP — the serving path that turns the paper's merge-cheap summaries into
+// an interactive aggregation service. The endpoints mirror the paper's
+// query workloads:
+//
+//	POST /ingest     batch observation ingest (JSON body or NDJSON stream)
+//	GET  /quantile   per-key quantile estimates (maximum entropy, §4)
+//	GET  /merge      cube-style rollup across keys by prefix, with optional
+//	                 group-by on a key segment (§7.1, via internal/cube)
+//	GET  /threshold  "is the φ-quantile above t?" through the cascade (§5.2)
+//	GET  /keys       key listing by prefix
+//	GET  /snapshot   binary snapshot stream of the whole store
+//	POST /restore    replace store contents from a snapshot stream
+//	GET  /stats      store totals plus cascade stage-resolution counters
+//	GET  /healthz    liveness probe
+//
+// Ingest hot path: request bodies are decoded into pooled shard.Batch
+// buffers, so steady-state ingest takes each stripe lock once per request
+// and allocates only what encoding/json itself needs. Queries clone the
+// fixed-size sketch under the stripe lock and run estimation outside it,
+// so slow maximum-entropy solves never block writers.
+//
+// Rollups treat keys as dot-separated dimension paths ("region.service.
+// endpoint"): /merge?prefix=us. merges every key under us., and
+// &groupby=1 splits the rollup by the second path segment. Internally the
+// matching sketches are materialized into an ephemeral internal/cube data
+// cube and rolled up with its Query/GroupByCoords — the same aggregation
+// engine the offline experiments benchmark.
+package server

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/shard"
+	"repro/internal/sketch"
+	"repro/moments"
+)
+
+// handleMerge answers cube-style rollups: merge every key under a prefix,
+// optionally grouped by one key segment. The matching per-key sketches are
+// materialized into an ephemeral internal/cube data cube whose dimensions
+// are the key's separator-delimited segments, then rolled up with
+// Query/GroupByCoords.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	prefix := q.Get("prefix")
+	phis, err := parsePhis(q["q"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if !q.Has("groupby") {
+		// Plain rollup: merge clone-free under the stripe locks; the cube
+		// is only needed when the result must be partitioned.
+		merged, merges, err := s.store.MergePrefix(prefix)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "rollup: %v", err)
+			return
+		}
+		if merges == 0 {
+			writeError(w, http.StatusNotFound, "no keys with prefix %q", prefix)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"prefix":    prefix,
+			"keys":      merges,
+			"merges":    merges,
+			"count":     merged.Count,
+			"min":       merged.Min,
+			"max":       merged.Max,
+			"quantiles": s.quantilePoints(merged, phis),
+		})
+		return
+	}
+
+	// Parse groupby before cloning sketches and materializing the cube, so
+	// malformed requests fail in microseconds rather than after the work.
+	level, err := strconv.Atoi(q.Get("groupby"))
+	if err != nil || level < 0 {
+		writeError(w, http.StatusBadRequest, "groupby must be a non-negative key-segment index")
+		return
+	}
+
+	matches := s.store.Match(prefix)
+	if len(matches) == 0 {
+		writeError(w, http.StatusNotFound, "no keys with prefix %q", prefix)
+		return
+	}
+
+	c, labels, err := s.buildCube(matches)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building rollup cube: %v", err)
+		return
+	}
+
+	if level >= len(labels) {
+		writeError(w, http.StatusBadRequest,
+			"groupby must be a key-segment index in [0,%d)", len(labels))
+		return
+	}
+	groups, err := c.GroupByCoords([]int{level})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rollup: %v", err)
+		return
+	}
+	type groupResult struct {
+		Group     string          `json:"group"`
+		Keys      float64         `json:"keys"`
+		Count     float64         `json:"count"`
+		Quantiles []quantilePoint `json:"quantiles"`
+	}
+	results := make([]groupResult, 0, len(groups))
+	for _, g := range groups {
+		merged := g.Summary.(*sketch.MSketch).S.Raw()
+		results = append(results, groupResult{
+			Group:     labels[level][g.Coords[0]],
+			Keys:      g.Merges,
+			Count:     merged.Count,
+			Quantiles: s.quantilePoints(merged, phis),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"prefix":  prefix,
+		"groupby": level,
+		"keys":    len(matches),
+		"groups":  results,
+	})
+}
+
+// buildCube materializes the matched sketches into a data cube whose
+// dimensions are the key segments (split on the server's separator; short
+// keys pad with ""). It returns the cube and, per dimension, the segment
+// label for each coordinate id.
+func (s *Server) buildCube(matches []shard.Keyed) (*cube.Cube, [][]string, error) {
+	depth := 1
+	split := make([][]string, len(matches))
+	for i, m := range matches {
+		split[i] = strings.Split(m.Key, s.sep)
+		if len(split[i]) > depth {
+			depth = len(split[i])
+		}
+	}
+
+	ids := make([]map[string]int, depth)
+	labels := make([][]string, depth)
+	for l := range ids {
+		ids[l] = make(map[string]int)
+	}
+	coordsOf := func(segs []string) []int {
+		coords := make([]int, depth)
+		for l := 0; l < depth; l++ {
+			seg := ""
+			if l < len(segs) {
+				seg = segs[l]
+			}
+			id, ok := ids[l][seg]
+			if !ok {
+				id = len(labels[l])
+				ids[l][seg] = id
+				labels[l] = append(labels[l], seg)
+			}
+			coords[l] = id
+		}
+		return coords
+	}
+	allCoords := make([][]int, len(matches))
+	for i := range matches {
+		allCoords[i] = coordsOf(split[i])
+	}
+
+	schema := cube.Schema{Dims: make([]string, depth), Card: make([]int, depth)}
+	for l := 0; l < depth; l++ {
+		schema.Dims[l] = fmt.Sprintf("seg%d", l)
+		schema.Card[l] = len(labels[l])
+	}
+	k := s.store.Order()
+	c, err := cube.New(schema, func() sketch.Summary { return sketch.NewMSketch(k) })
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, m := range matches {
+		summary := &sketch.MSketch{S: moments.FromRaw(m.Sketch)}
+		sum := 0.0
+		if !m.Sketch.IsEmpty() {
+			sum = m.Sketch.Pow[0]
+		}
+		if err := c.IngestSummary(allCoords[i], summary, sum, m.Sketch.Count); err != nil {
+			return nil, nil, err
+		}
+	}
+	return c, labels, nil
+}

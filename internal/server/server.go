@@ -1,0 +1,489 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/maxent"
+	"repro/internal/shard"
+)
+
+// DefaultMaxBodyBytes caps ingest request bodies (32 MiB).
+const DefaultMaxBodyBytes = 32 << 20
+
+// restoreBodyFactor scales the ingest body cap up for /restore: snapshots
+// are ~200 bytes per key, so the default 32 MiB × 32 = 1 GiB admits stores
+// of ~5M keys while still bounding the staging memory a single request can
+// pin.
+const restoreBodyFactor = 32
+
+// defaultPhis are the quantiles reported when a query names none.
+var defaultPhis = []float64{0.5, 0.9, 0.99}
+
+// Server is the HTTP front end of a shard.Store. It implements
+// http.Handler; construct with New.
+type Server struct {
+	store   *shard.Store
+	mux     *http.ServeMux
+	sep     string
+	maxBody int64
+	solver  maxent.Options
+	start   time.Time
+
+	batches sync.Pool
+
+	statsMu      sync.Mutex
+	cascadeStats cascade.Stats
+}
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithKeySeparator sets the segment separator used by /merge group-bys
+// (default ".").
+func WithKeySeparator(sep string) ServerOption {
+	return func(s *Server) { s.sep = sep }
+}
+
+// WithMaxBodyBytes caps the accepted request body size.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// WithSolverOptions sets the maximum-entropy solver options used for
+// estimates over merged (rollup) sketches.
+func WithSolverOptions(o maxent.Options) ServerOption {
+	return func(s *Server) { s.solver = o }
+}
+
+// New wires a Server around store.
+func New(store *shard.Store, opts ...ServerOption) *Server {
+	s := &Server{
+		store:   store,
+		mux:     http.NewServeMux(),
+		sep:     ".",
+		maxBody: DefaultMaxBodyBytes,
+		start:   time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.batches.New = func() any { return store.NewBatch() }
+
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
+	s.mux.HandleFunc("GET /merge", s.handleMerge)
+	s.mux.HandleFunc("GET /threshold", s.handleThreshold)
+	s.mux.HandleFunc("GET /keys", s.handleKeys)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /restore", s.handleRestore)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// wireObservation is the ingest wire shape. Value is a pointer so a
+// missing or misspelled "value" field is an error rather than a silently
+// ingested zero.
+type wireObservation struct {
+	Key   string   `json:"key"`
+	Value *float64 `json:"value"`
+}
+
+func (o wireObservation) check() error {
+	if o.Key == "" {
+		return errors.New("missing key")
+	}
+	if len(o.Key) > shard.MaxKeyLen {
+		return fmt.Errorf("key exceeds %d bytes", shard.MaxKeyLen)
+	}
+	if o.Value == nil {
+		return errors.New("missing value")
+	}
+	if math.IsNaN(*o.Value) || math.IsInf(*o.Value, 0) {
+		return errors.New("value must be finite")
+	}
+	return nil
+}
+
+// ingestRequest is the enveloped JSON body shape; a bare array of
+// observations is accepted too.
+type ingestRequest struct {
+	Observations []wireObservation `json:"observations"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	batch := s.batches.Get().(*shard.Batch)
+	defer func() {
+		// A rejected request must not mutate the store: drop whatever was
+		// buffered before the error. After a successful Flush this is a
+		// no-op, and either way the pooled batch goes back clean.
+		batch.Discard()
+		s.batches.Put(batch)
+	}()
+
+	ct := r.Header.Get("Content-Type")
+	var err error
+	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "text/plain") {
+		err = decodeNDJSON(body, batch)
+	} else {
+		err = decodeJSONBody(body, batch)
+	}
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxErr.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := batch.Flush()
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
+}
+
+// decodeJSONBody accepts {"observations":[...]} or a bare [...] array.
+func decodeJSONBody(r io.Reader, batch *shard.Batch) error {
+	br := bufio.NewReader(r)
+	first, err := firstNonSpace(br)
+	if err != nil {
+		return errors.New("empty body")
+	}
+	dec := json.NewDecoder(br)
+	var obs []wireObservation
+	if first == '[' {
+		if err := dec.Decode(&obs); err != nil {
+			return fmt.Errorf("decoding observation array: %w", err)
+		}
+	} else {
+		var req ingestRequest
+		if err := dec.Decode(&req); err != nil {
+			return fmt.Errorf("decoding ingest request: %w", err)
+		}
+		obs = req.Observations
+	}
+	for i, o := range obs {
+		if err := o.check(); err != nil {
+			return fmt.Errorf("observation %d: %w", i, err)
+		}
+		batch.Add(o.Key, *o.Value)
+	}
+	return nil
+}
+
+// decodeNDJSON accepts one {"key":...,"value":...} object per line. The
+// line buffer leaves headroom above MaxKeyLen so a maximum-length key is
+// rejected by the same key-length check as the JSON-array path, not by an
+// opaque scanner error.
+func decodeNDJSON(r io.Reader, batch *shard.Batch) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), shard.MaxKeyLen+64*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var o wireObservation
+		if err := json.Unmarshal([]byte(text), &o); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := o.check(); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		batch.Add(o.Key, *o.Value)
+	}
+	return sc.Err()
+}
+
+func firstNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return 0, err
+		}
+		return c, nil
+	}
+}
+
+// quantilePoint is one (φ, estimate) pair in a response.
+type quantilePoint struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key := q.Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	phis, err := parsePhis(q["q"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sk, ok := s.store.Sketch(key)
+	if !ok || sk.IsEmpty() {
+		writeError(w, http.StatusNotFound, "no such key: %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":       key,
+		"count":     sk.Count,
+		"min":       sk.Min,
+		"max":       sk.Max,
+		"mean":      sk.Mean(),
+		"quantiles": s.quantilePoints(sk, phis),
+	})
+}
+
+// quantilePoints estimates every requested quantile from one solve with the
+// server's solver options, falling back to rank-bound inversion per φ when
+// the solver cannot converge (the solve is not retried per φ).
+func (s *Server) quantilePoints(sk *core.Sketch, phis []float64) []quantilePoint {
+	out := make([]quantilePoint, len(phis))
+	sol, err := maxent.SolveSketch(sk, s.solver)
+	for i, phi := range phis {
+		var v float64
+		if err == nil {
+			v = sol.Quantile(phi)
+		} else {
+			v = bounds.InvertRTT(sk, phi)
+		}
+		out[i] = quantilePoint{Q: phi, Value: v}
+	}
+	return out
+}
+
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, prefix := q.Get("key"), q.Get("prefix")
+	if key == "" && !q.Has("prefix") {
+		writeError(w, http.StatusBadRequest, "need key or prefix parameter")
+		return
+	}
+	if key != "" && q.Has("prefix") {
+		writeError(w, http.StatusBadRequest, "key and prefix are mutually exclusive")
+		return
+	}
+	t, err := parseFloat(q, "t", math.NaN())
+	if err != nil || math.IsNaN(t) {
+		writeError(w, http.StatusBadRequest, "missing or invalid t parameter")
+		return
+	}
+	phi, err := parseFloat(q, "phi", 0.99)
+	if err != nil || math.IsNaN(phi) || phi < 0 || phi > 1 {
+		writeError(w, http.StatusBadRequest, "phi must be in [0,1]")
+		return
+	}
+
+	var sk *core.Sketch
+	scope := map[string]any{}
+	if key != "" {
+		var ok bool
+		sk, ok = s.store.Sketch(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such key: %q", key)
+			return
+		}
+		scope["key"] = key
+	} else {
+		var merges int
+		sk, merges, err = s.store.MergePrefix(prefix)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if merges == 0 {
+			writeError(w, http.StatusNotFound, "no keys with prefix %q", prefix)
+			return
+		}
+		scope["prefix"] = prefix
+		scope["merges"] = merges
+	}
+
+	cfg := cascade.Full()
+	cfg.Solver = s.solver
+	var st cascade.Stats
+	above, err := cascade.Threshold(sk, t, phi, cfg, &st)
+	if errors.Is(err, core.ErrEmpty) {
+		writeError(w, http.StatusNotFound, "no data in scope")
+		return
+	}
+	s.foldCascadeStats(&st)
+
+	resp := map[string]any{
+		"t":     t,
+		"phi":   phi,
+		"above": above,
+		"count": sk.Count,
+		"stage": resolvedStage(&st),
+	}
+	for k, v := range scope {
+		resp[k] = v
+	}
+	if err != nil {
+		// The cascade still decided via guaranteed bounds; surface that the
+		// solver did not converge rather than failing the query.
+		resp["degraded"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolvedStage names the cascade stage that settled the last query
+// recorded in st (which tracked exactly one query).
+func resolvedStage(st *cascade.Stats) string {
+	for stage := cascade.Stage(0); stage < cascade.NumStages; stage++ {
+		if st.Resolved[stage] > 0 {
+			return stage.String()
+		}
+	}
+	return "?"
+}
+
+func (s *Server) foldCascadeStats(st *cascade.Stats) {
+	s.statsMu.Lock()
+	s.cascadeStats.Queries += st.Queries
+	for i := range st.Resolved {
+		s.cascadeStats.Resolved[i] += st.Resolved[i]
+		s.cascadeStats.Time[i] += st.Time[i]
+	}
+	s.statsMu.Unlock()
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	keys := s.store.Keys(r.URL.Query().Get("prefix"))
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.statsMu.Lock()
+	cs := s.cascadeStats
+	s.statsMu.Unlock()
+	resolved := map[string]int{}
+	for stage := cascade.Stage(0); stage < cascade.NumStages; stage++ {
+		resolved[stage.String()] = cs.Resolved[stage]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"keys":           s.store.Len(),
+		"observations":   s.store.TotalCount(),
+		"shards":         s.store.NumShards(),
+		"order":          s.store.Order(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"cascade": map[string]any{
+			"queries":  cs.Queries,
+			"resolved": resolved,
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename=momentsd.snapshot")
+	if err := s.store.Snapshot(w); err != nil {
+		// Headers are gone; the client sees a truncated stream and the
+		// Restore side will reject it.
+		return
+	}
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	// Restore validates the whole stream — including its trailer — into a
+	// staging area before touching the store, so the body cap (scaled well
+	// above the ingest limit, since snapshots run ~200 bytes per key) also
+	// bounds the memory one request can pin.
+	body := http.MaxBytesReader(w, r.Body, s.maxBody*restoreBodyFactor)
+	if err := s.store.Restore(body); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"keys":         s.store.Len(),
+		"observations": s.store.TotalCount(),
+	})
+}
+
+// parsePhis parses repeated and/or comma-separated q parameters into
+// quantile fractions, defaulting to defaultPhis.
+func parsePhis(params []string) ([]float64, error) {
+	var out []float64
+	for _, p := range params {
+		for _, tok := range strings.Split(p, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil || math.IsNaN(v) || v < 0 || v > 1 {
+				return nil, fmt.Errorf("invalid quantile fraction %q", tok)
+			}
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return append([]float64(nil), defaultPhis...), nil
+	}
+	if len(out) > 64 {
+		return nil, fmt.Errorf("too many quantile fractions (%d > 64)", len(out))
+	}
+	return out, nil
+}
+
+func parseFloat(q map[string][]string, name string, def float64) (float64, error) {
+	vals := q[name]
+	if len(vals) == 0 || vals[0] == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(vals[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s parameter %q", name, vals[0])
+	}
+	return v, nil
+}

@@ -1,0 +1,23 @@
+// Package shard implements a concurrent, lock-striped store of per-key
+// moments sketches — the serving-side counterpart of the paper's data-cube
+// cells. Each distinct string key owns one constant-size core.Sketch;
+// observations hash to one of a power-of-two number of shards, each guarded
+// by its own mutex, so ingest from many goroutines contends only when two
+// writers land on the same stripe.
+//
+// The hot path is allocation-free: keys are hashed with an inline FNV-1a
+// (no interface boxing, no []byte conversion), and the Batch type buckets
+// incoming observations per shard in reusable buffers so a flush takes each
+// stripe lock exactly once regardless of batch size. Because the moments
+// sketch itself is a fixed set of power sums, per-key state never grows —
+// a store with a million keys is a million ~200-byte summaries.
+//
+// Reads never block estimation work on a stripe lock: Sketch, Quantile and
+// Threshold clone the fixed-size summary under the lock (a few hundred
+// bytes of copying) and run the maximum-entropy solver or the threshold
+// cascade on the clone outside it.
+//
+// The full store can be serialized to a length-prefixed snapshot stream
+// (see Snapshot/Restore) built on the binary sketch codec in
+// internal/encoding.
+package shard

@@ -1,0 +1,548 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bounds"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/maxent"
+)
+
+// ErrNoKey is returned when a queried key has no sketch.
+var ErrNoKey = errors.New("shard: no such key")
+
+// Observation is one keyed sample.
+type Observation struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// stripe is one lock-striped partition of the key space. The padding keeps
+// adjacent stripes on separate cache lines so uncontended locks on
+// neighbouring shards do not false-share.
+type stripe struct {
+	mu      sync.Mutex
+	entries map[string]*core.Sketch
+	count   float64  // observations ingested into this stripe
+	_       [40]byte // mutex(8) + map(8) + count(8) + 40 = one 64-byte line
+}
+
+// Store is a sharded map from string keys to moments sketches. All methods
+// are safe for concurrent use.
+type Store struct {
+	k       int
+	mask    uint64
+	stripes []stripe
+	solver  maxent.Options
+}
+
+// Option configures a Store at construction.
+type Option func(*storeConfig)
+
+type storeConfig struct {
+	k      int
+	shards int
+	solver maxent.Options
+}
+
+// WithShards sets the number of lock stripes (rounded up to a power of two,
+// minimum 1). The default is 8× GOMAXPROCS, enough that random keys rarely
+// contend.
+func WithShards(n int) Option { return func(c *storeConfig) { c.shards = n } }
+
+// WithOrder sets the moments-sketch order k for new keys (default
+// core.DefaultK).
+func WithOrder(k int) Option { return func(c *storeConfig) { c.k = k } }
+
+// WithSolverOptions sets the maximum-entropy solver options used by
+// Quantile and Threshold.
+func WithSolverOptions(o maxent.Options) Option {
+	return func(c *storeConfig) { c.solver = o }
+}
+
+// New returns an empty store. Like core.New, it panics if the configured
+// order is outside [1, core.MaxK] — failing at construction rather than on
+// the first ingested observation.
+func New(opts ...Option) *Store {
+	cfg := storeConfig{k: core.DefaultK}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.k < 1 || cfg.k > core.MaxK {
+		panic(fmt.Sprintf("shard: sketch order %d outside [1,%d]", cfg.k, core.MaxK))
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = 8 * runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < cfg.shards {
+		n <<= 1
+	}
+	s := &Store{
+		k:       cfg.k,
+		mask:    uint64(n - 1),
+		stripes: make([]stripe, n),
+		solver:  cfg.solver,
+	}
+	for i := range s.stripes {
+		s.stripes[i].entries = make(map[string]*core.Sketch)
+	}
+	return s
+}
+
+// Order returns the sketch order used for new keys.
+func (s *Store) Order() int { return s.k }
+
+// NumShards returns the number of lock stripes.
+func (s *Store) NumShards() int { return len(s.stripes) }
+
+// fnv64a hashes a key without allocating (FNV-1a).
+func fnv64a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Store) stripeFor(key string) *stripe {
+	return &s.stripes[fnv64a(key)&s.mask]
+}
+
+// sketchLocked returns the sketch for key, creating it if absent. The
+// stripe lock must be held.
+func (st *stripe) sketchLocked(key string, k int) *core.Sketch {
+	sk, ok := st.entries[key]
+	if !ok {
+		sk = core.New(k)
+		st.entries[key] = sk
+	}
+	return sk
+}
+
+// Add accumulates one observation.
+func (s *Store) Add(key string, x float64) {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	st.sketchLocked(key, s.k).Add(x)
+	st.count++
+	st.mu.Unlock()
+}
+
+// Batch buckets observations per stripe so a Flush takes each stripe lock
+// exactly once. Buffers are reused across flushes, so a long-lived Batch
+// (e.g. pooled per request) ingests without allocating. A Batch is not safe
+// for concurrent use; pool them instead.
+type Batch struct {
+	store   *Store
+	buckets [][]Observation
+	touched []int
+	n       int
+}
+
+// NewBatch returns an empty reusable batch bound to the store.
+func (s *Store) NewBatch() *Batch {
+	return &Batch{
+		store:   s,
+		buckets: make([][]Observation, len(s.stripes)),
+	}
+}
+
+// Add appends one observation to the batch.
+func (b *Batch) Add(key string, x float64) {
+	i := int(fnv64a(key) & b.store.mask)
+	if len(b.buckets[i]) == 0 {
+		b.touched = append(b.touched, i)
+	}
+	b.buckets[i] = append(b.buckets[i], Observation{Key: key, Value: x})
+	b.n++
+}
+
+// Len returns the number of buffered observations.
+func (b *Batch) Len() int { return b.n }
+
+// Flush applies the buffered observations and resets the batch for reuse.
+// It returns the number of observations applied.
+func (b *Batch) Flush() int {
+	applied := b.n
+	for _, i := range b.touched {
+		st := &b.store.stripes[i]
+		st.mu.Lock()
+		for _, o := range b.buckets[i] {
+			st.sketchLocked(o.Key, b.store.k).Add(o.Value)
+		}
+		st.count += float64(len(b.buckets[i]))
+		st.mu.Unlock()
+		clear(b.buckets[i]) // release key strings before truncating
+		b.buckets[i] = b.buckets[i][:0]
+	}
+	b.touched = b.touched[:0]
+	b.n = 0
+	return applied
+}
+
+// Discard drops the buffered observations without applying them — e.g.
+// when a request fails validation partway through decoding — and resets
+// the batch for reuse.
+func (b *Batch) Discard() {
+	for _, i := range b.touched {
+		clear(b.buckets[i])
+		b.buckets[i] = b.buckets[i][:0]
+	}
+	b.touched = b.touched[:0]
+	b.n = 0
+}
+
+// Sketch returns an independent clone of the sketch for key.
+func (s *Store) Sketch(key string) (*core.Sketch, bool) {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	sk, ok := st.entries[key]
+	var c *core.Sketch
+	if ok {
+		c = sk.Clone()
+	}
+	st.mu.Unlock()
+	return c, ok
+}
+
+// Count returns the number of observations recorded under key (0 if the key
+// is absent).
+func (s *Store) Count(key string) float64 {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sk, ok := st.entries[key]; ok {
+		return sk.Count
+	}
+	return 0
+}
+
+// Len returns the number of distinct keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.entries)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// TotalCount returns the total number of observations ingested.
+func (s *Store) TotalCount() float64 {
+	total := 0.0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		total += st.count
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// Keys returns every key with the given prefix, sorted. An empty prefix
+// matches all keys.
+func (s *Store) Keys(prefix string) []string {
+	var keys []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Keyed pairs a key with a clone of its sketch.
+type Keyed struct {
+	Key    string
+	Sketch *core.Sketch
+}
+
+// Match returns a clone of every (key, sketch) whose key has the given
+// prefix, sorted by key. An empty prefix matches all keys.
+func (s *Store) Match(prefix string) []Keyed {
+	var out []Keyed
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k, sk := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, Keyed{Key: k, Sketch: sk.Clone()})
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// MergePrefix rolls up every key with the given prefix into one sketch —
+// the cube-style aggregation the moments sketch is built for. It returns
+// the merged sketch and the number of per-key sketches merged. Merging
+// happens under each stripe lock without cloning, so a rollup over n keys
+// costs n vector additions.
+func (s *Store) MergePrefix(prefix string) (*core.Sketch, int, error) {
+	out := core.New(s.k)
+	merges := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k, sk := range st.entries {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			if err := out.Merge(sk); err != nil {
+				st.mu.Unlock()
+				return nil, merges, err
+			}
+			merges++
+		}
+		st.mu.Unlock()
+	}
+	return out, merges, nil
+}
+
+// Quantile estimates the φ-quantile of the data recorded under key. The
+// solver runs on a clone outside the stripe lock. If the maximum-entropy
+// solver fails to converge (near-discrete data), the estimate falls back to
+// inverting the guaranteed rank bounds, so a value is always returned for a
+// non-empty key.
+func (s *Store) Quantile(key string, phi float64) (float64, error) {
+	sk, ok := s.Sketch(key)
+	if !ok {
+		return 0, ErrNoKey
+	}
+	return QuantileOf(sk, phi, s.solver)
+}
+
+// Threshold reports whether the φ-quantile under key exceeds t, resolved
+// through the paper's cascade. stats, when non-nil, accumulates per-stage
+// resolution counts.
+func (s *Store) Threshold(key string, t, phi float64, stats *cascade.Stats) (bool, error) {
+	sk, ok := s.Sketch(key)
+	if !ok {
+		return false, ErrNoKey
+	}
+	cfg := cascade.Full()
+	cfg.Solver = s.solver
+	return cascade.Threshold(sk, t, phi, cfg, stats)
+}
+
+// QuantileOf estimates the φ-quantile of a standalone sketch with the
+// store's degradation policy: maximum entropy first, guaranteed rank-bound
+// bisection when the solver cannot converge.
+func QuantileOf(sk *core.Sketch, phi float64, opts maxent.Options) (float64, error) {
+	if sk.IsEmpty() {
+		return 0, core.ErrEmpty
+	}
+	q, err := cascade.Quantile(sk, phi, opts)
+	if err == nil {
+		return q, nil
+	}
+	return bounds.InvertRTT(sk, phi), nil
+}
+
+// Delete removes a key, reporting whether it was present.
+func (s *Store) Delete(key string) bool {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sk, ok := st.entries[key]
+	if ok {
+		st.count -= sk.Count
+		delete(st.entries, key)
+	}
+	return ok
+}
+
+// Reset removes every key.
+func (s *Store) Reset() {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.entries = make(map[string]*core.Sketch)
+		st.count = 0
+		st.mu.Unlock()
+	}
+}
+
+// Snapshot format: a "MDSS" magic, a format version, the store order, then
+// one length-prefixed record per key, terminated by a trailer (an
+// all-ones key-length sentinel followed by the record count) so truncation
+// — even at a record boundary — is always detectable. See internal/encoding
+// for the sketch payload codec.
+const (
+	snapMagic     = "MDSS"
+	snapVersion   = 1
+	snapEndMarker = ^uint64(0) // key-length sentinel introducing the trailer
+)
+
+// MaxKeyLen is the longest key the snapshot format round-trips (1 MiB).
+// Ingest surfaces must reject longer keys — a store holding one could
+// write a snapshot that Restore then refuses to read back.
+const MaxKeyLen = 1 << 20
+
+// Snapshot serializes every (key, sketch) pair to w. Records are marshaled
+// stripe by stripe under each stripe lock but written to w outside it, so a
+// slow consumer (a remote /snapshot client, a saturated disk) never blocks
+// ingest. The result is a consistent per-key snapshot: each sketch is
+// internally consistent; keys ingested during the snapshot may or may not
+// appear.
+func (s *Store) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	header := []byte{snapVersion, byte(s.k)}
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	var records []byte
+	total := uint64(0)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		records = records[:0]
+		st.mu.Lock()
+		for key, sk := range st.entries {
+			payload := encoding.Marshal(sk)
+			n := binary.PutUvarint(scratch[:], uint64(len(key)))
+			records = append(records, scratch[:n]...)
+			records = append(records, key...)
+			n = binary.PutUvarint(scratch[:], uint64(len(payload)))
+			records = append(records, scratch[:n]...)
+			records = append(records, payload...)
+			total++
+		}
+		st.mu.Unlock()
+		if _, err := bw.Write(records); err != nil {
+			return err
+		}
+	}
+	n := binary.PutUvarint(scratch[:], snapEndMarker)
+	if _, err := bw.Write(scratch[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(scratch[:], total)
+	if _, err := bw.Write(scratch[:n]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore replaces the store's contents with a snapshot previously written
+// by Snapshot. The snapshot's sketch order must match the store's. The
+// whole stream — including the truncation-detecting trailer — is decoded
+// and validated into a staging area first, so a bad or cut-short snapshot
+// leaves the store untouched.
+func (s *Store) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapMagic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("shard: reading snapshot header: %w", err)
+	}
+	if string(head[:len(snapMagic)]) != snapMagic {
+		return errors.New("shard: not a snapshot stream (bad magic)")
+	}
+	if head[len(snapMagic)] != snapVersion {
+		return fmt.Errorf("shard: unsupported snapshot version %d", head[len(snapMagic)])
+	}
+	if k := int(head[len(snapMagic)+1]); k != s.k {
+		return fmt.Errorf("shard: snapshot order k=%d does not match store order k=%d", k, s.k)
+	}
+	staged := make(map[string]*core.Sketch)
+	var buf []byte
+	for {
+		keyLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("shard: truncated snapshot (missing trailer): %w", err)
+		}
+		if keyLen == snapEndMarker {
+			total, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("shard: truncated snapshot trailer: %w", err)
+			}
+			if total != uint64(len(staged)) {
+				return fmt.Errorf("shard: snapshot trailer records %d keys, decoded %d", total, len(staged))
+			}
+			break
+		}
+		if keyLen > MaxKeyLen {
+			return errors.New("shard: implausible key length in snapshot")
+		}
+		keyBytes := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, keyBytes); err != nil {
+			return fmt.Errorf("shard: reading snapshot key: %w", err)
+		}
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("shard: reading snapshot record: %w", err)
+		}
+		if payloadLen > 1<<24 {
+			return errors.New("shard: implausible sketch length in snapshot")
+		}
+		if uint64(cap(buf)) < payloadLen {
+			buf = make([]byte, payloadLen)
+		}
+		buf = buf[:payloadLen]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("shard: reading snapshot payload: %w", err)
+		}
+		sk, err := encoding.Unmarshal(buf)
+		if err != nil {
+			return fmt.Errorf("shard: decoding snapshot sketch: %w", err)
+		}
+		if sk.K != s.k {
+			return fmt.Errorf("shard: snapshot sketch order k=%d does not match store order k=%d", sk.K, s.k)
+		}
+		staged[string(keyBytes)] = sk
+	}
+
+	// Swap the staged contents in stripe by stripe, replacing each stripe's
+	// map and recomputing its count wholesale. Each stripe's replacement is
+	// atomic under its lock, so concurrent ingest never leaves a stripe
+	// whose count disagrees with its entries.
+	perStripe := make([]map[string]*core.Sketch, len(s.stripes))
+	for key, sk := range staged {
+		i := fnv64a(key) & s.mask
+		if perStripe[i] == nil {
+			perStripe[i] = make(map[string]*core.Sketch)
+		}
+		perStripe[i][key] = sk
+	}
+	for i := range s.stripes {
+		entries := perStripe[i]
+		if entries == nil {
+			entries = make(map[string]*core.Sketch)
+		}
+		count := 0.0
+		for _, sk := range entries {
+			count += sk.Count
+		}
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.entries = entries
+		st.count = count
+		st.mu.Unlock()
+	}
+	return nil
+}

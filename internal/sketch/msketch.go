@@ -3,6 +3,7 @@ package sketch
 import (
 	"math"
 
+	"repro/internal/bounds"
 	"repro/moments"
 )
 
@@ -49,17 +50,7 @@ func (m *MSketch) Quantile(phi float64) float64 {
 // boundFallback inverts the guaranteed rank bounds by bisection on the
 // midpoint rank — crude, but always available.
 func (m *MSketch) boundFallback(phi float64) float64 {
-	lo, hi := m.S.Min(), m.S.Max()
-	for i := 0; i < 40 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
-		mid := (lo + hi) / 2
-		blo, bhi := m.S.RankBounds(mid)
-		if (blo+bhi)/2 < phi {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2
+	return bounds.InvertRTT(m.S.Raw(), phi)
 }
 
 // Count implements Summary.

@@ -1,0 +1,12 @@
+// Package window implements the paper's sliding-window alerting workflow
+// (§7.2.2, Fig. 14): data pre-aggregated into fixed panes, queried for the
+// windows whose high quantile exceeds a threshold. The moments sketch scans
+// windows with turnstile semantics — subtract the expiring pane's power
+// sums, add the arriving pane's — plus the threshold cascade, so each slide
+// costs two vector additions instead of re-merging the whole window. A
+// generic Summary-based scanner re-merges every window for comparison.
+//
+// Because Sub cannot shrink the tracked [Min, Max] support, ScanMoments
+// recomputes the live range from the current panes and calls TightenRange
+// before each estimate, keeping the maximum-entropy solve well-conditioned.
+package window

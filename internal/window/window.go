@@ -1,10 +1,3 @@
-// Package window implements the paper's sliding-window alerting workflow
-// (§7.2.2, Fig. 14): data pre-aggregated into fixed panes, queried for the
-// windows whose high quantile exceeds a threshold. The moments sketch scans
-// windows with turnstile semantics — subtract the expiring pane's power
-// sums, add the arriving pane's — plus the threshold cascade, so each slide
-// costs two vector additions instead of re-merging the whole window. A
-// generic Summary-based scanner re-merges every window for comparison.
 package window
 
 import (

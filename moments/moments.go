@@ -116,6 +116,19 @@ func New(options ...Option) *Sketch {
 	return &Sketch{raw: core.New(cfg.k), opts: cfg.opts}
 }
 
+// FromRaw wraps an existing statistics sketch (one held by a shard store,
+// decoded from a snapshot, …) in a Sketch without copying it. The raw
+// sketch is adopted: callers that keep mutating it directly must not reuse
+// this wrapper, since cached solutions would go stale. WithK options are
+// ignored; the wrapper takes its order from raw.
+func FromRaw(raw *core.Sketch, options ...Option) *Sketch {
+	cfg := config{k: raw.K}
+	for _, o := range options {
+		o(&cfg)
+	}
+	return &Sketch{raw: raw, opts: cfg.opts}
+}
+
 // K returns the sketch order.
 func (s *Sketch) K() int { return s.raw.K }
 
