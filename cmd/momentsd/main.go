@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	momentsd [-addr :7607] [-k 10] [-shards N] [-sep .]
+//	momentsd [-addr :7607] [-k 10] [-shards N] [-sep .] [-workers N]
 //	         [-snapshot FILE] [-snapshot-interval DUR]
 //
 // With -snapshot, the store is restored from FILE at startup (when the file
@@ -14,13 +14,26 @@
 // periodically. Snapshots are written to a temp file and renamed, so a
 // crash mid-save never corrupts the previous snapshot.
 //
-// Endpoints (see internal/server for details):
+// The primary query surface is the batched typed endpoint POST /v1/query
+// (see internal/query): one request carries any number of subqueries —
+// exact keys, prefix rollups, group-bys — each with its own aggregation
+// list, executed by a parallel planner/executor (-workers bounds its
+// concurrency):
 //
 //	curl -XPOST localhost:7607/ingest -d '{"observations":[{"key":"us.web","value":12.5}]}'
+//	curl -XPOST localhost:7607/v1/query -d '{"queries":[
+//	  {"id":"per-service","select":{"prefix":"us.","group_by":1},
+//	   "aggregations":[{"op":"quantiles","phis":[0.5,0.99]},{"op":"stats"}]},
+//	  {"id":"slo","select":{"prefix":"us."},
+//	   "aggregations":[{"op":"threshold","t":100,"phi":0.99}]}]}'
+//	curl 'localhost:7607/stats'
+//
+// The single-shot GET endpoints (/quantile, /merge, /threshold) are
+// deprecated adapters over the same engine, kept for compatibility:
+//
 //	curl 'localhost:7607/quantile?key=us.web&q=0.5,0.99'
 //	curl 'localhost:7607/merge?prefix=us.&q=0.99&groupby=1'
 //	curl 'localhost:7607/threshold?prefix=us.&t=100&phi=0.99'
-//	curl 'localhost:7607/stats'
 package main
 
 import (
@@ -47,7 +60,8 @@ func main() {
 		addr         = flag.String("addr", ":7607", "listen address")
 		order        = flag.Int("k", 10, "moments sketch order")
 		shards       = flag.Int("shards", 0, "lock stripes (0 = 8×GOMAXPROCS, rounded to a power of two)")
-		sep          = flag.String("sep", ".", "key segment separator for /merge group-bys")
+		sep          = flag.String("sep", ".", "key segment separator for group-by selections")
+		workers      = flag.Int("workers", 0, "query executor worker pool size (0 = GOMAXPROCS)")
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
 	)
@@ -65,7 +79,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(store, server.WithKeySeparator(*sep)),
+		Handler:           server.New(store, server.WithKeySeparator(*sep), server.WithQueryWorkers(*workers)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -9,16 +9,30 @@
 //	msketch merge -o week.msk day1.msk day2.msk
 //	msketch query -q 0.5,0.99 week.msk
 //	msketch info  week.msk
+//
+// query doubles as a client for a running momentsd: with -server it
+// translates the flags into a POST /v1/query batch (or, with -batch,
+// forwards a raw request body from stdin) and pretty-prints the results.
+//
+//	msketch query -server http://localhost:7607 -key us.web -q 0.5,0.99
+//	msketch query -server http://localhost:7607 -prefix us. -groupby 1 -q 0.99
+//	msketch query -server http://localhost:7607 -batch < request.json
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/query"
 	"repro/moments"
 )
 
@@ -52,7 +66,10 @@ func usage() {
 
   build -k K -o OUT [-bits N]   build a sketch from stdin values (one per line)
   merge -o OUT FILE...          merge sketch files
-  query -q PHI[,PHI...] FILE    estimate quantiles
+  query -q PHI[,PHI...] FILE    estimate quantiles from a sketch file
+  query -server URL [-key K | -prefix P [-groupby N]] [-q PHI,...] [-t T -phi PHI]
+                                query a running momentsd via POST /v1/query
+  query -server URL -batch      forward a raw /v1/query body from stdin
   info FILE                     print sketch statistics`)
 }
 
@@ -148,19 +165,31 @@ func cmdMerge(args []string) error {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	qs := fs.String("q", "0.5", "comma-separated quantile fractions")
+	server := fs.String("server", "", "momentsd base URL; queries POST /v1/query instead of a sketch file")
+	key := fs.String("key", "", "server mode: exact key to query")
+	prefix := fs.String("prefix", "", "server mode: key prefix to roll up")
+	groupby := fs.Int("groupby", -1, "server mode: group a prefix rollup by this key-segment index")
+	tFlag := fs.String("t", "", "server mode: also ask whether the -phi quantile exceeds this threshold")
+	phiFlag := fs.Float64("phi", query.DefaultThresholdPhi, "server mode: quantile fraction for -t")
+	batch := fs.Bool("batch", false, "server mode: forward a raw /v1/query JSON body from stdin")
+	timeout := fs.Duration("timeout", 30*time.Second, "server mode: request timeout")
 	fs.Parse(args)
+
+	if *server != "" {
+		return serverQuery(fs, *server, *qs, *key, *prefix, *groupby, *tFlag, *phiFlag, *batch, *timeout)
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("query: need exactly one sketch file")
+		return fmt.Errorf("query: need exactly one sketch file (or -server URL)")
 	}
 	s, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	for _, part := range strings.Split(*qs, ",") {
-		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return fmt.Errorf("query: bad quantile %q", part)
-		}
+	phis, err := parsePhiList(*qs)
+	if err != nil {
+		return err
+	}
+	for _, phi := range phis {
 		q, err := s.Quantile(phi)
 		if err != nil {
 			return fmt.Errorf("estimating p%g: %v", phi*100, err)
@@ -169,6 +198,149 @@ func cmdQuery(args []string) error {
 		fmt.Printf("p%-6g %-14g (rank bounds [%.4f, %.4f])\n", phi*100, q, lo, hi)
 	}
 	return nil
+}
+
+func parsePhiList(qs string) ([]float64, error) {
+	var phis []float64
+	for _, part := range strings.Split(qs, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad quantile %q", part)
+		}
+		phis = append(phis, phi)
+	}
+	return phis, nil
+}
+
+// serverQuery drives a running momentsd through POST /v1/query.
+func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, tFlag string, phi float64, batch bool, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	url := strings.TrimSuffix(server, "/") + "/v1/query"
+
+	if batch {
+		body, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("query: reading stdin: %v", err)
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		// Raw passthrough: emit the server's response verbatim.
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query: server returned %s", resp.Status)
+		}
+		return nil
+	}
+
+	if (key == "") == (prefix == "" && !flagSet(fs, "prefix")) {
+		return fmt.Errorf("query: server mode needs exactly one of -key and -prefix")
+	}
+	sq := query.Subquery{}
+	if key != "" {
+		sq.Select = query.Selection{Key: key}
+	} else {
+		p := prefix
+		sq.Select = query.Selection{Prefix: &p}
+		if groupby >= 0 {
+			g := groupby
+			sq.Select.GroupBy = &g
+		}
+	}
+	phis, err := parsePhiList(qs)
+	if err != nil {
+		return err
+	}
+	sq.Aggregations = []query.Aggregation{
+		{Op: query.OpStats},
+		{Op: query.OpQuantiles, Phis: phis},
+	}
+	if tFlag != "" {
+		t, err := strconv.ParseFloat(tFlag, 64)
+		if err != nil {
+			return fmt.Errorf("query: bad threshold %q", tFlag)
+		}
+		sq.Aggregations = append(sq.Aggregations,
+			query.Aggregation{Op: query.OpThreshold, T: &t, Phi: &phi})
+	}
+
+	payload, err := json.Marshal(query.Request{Queries: []query.Subquery{sq}})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error *query.Error `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error != nil {
+			return fmt.Errorf("query: %s", envelope.Error.Error())
+		}
+		return fmt.Errorf("query: server returned %s", resp.Status)
+	}
+	var out query.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("query: decoding response: %v", err)
+	}
+	if len(out.Results) == 0 {
+		return fmt.Errorf("query: server returned no results — is %s a momentsd /v1/query endpoint?", url)
+	}
+	res := out.Results[0]
+	if res.Error != nil {
+		return fmt.Errorf("query: %s", res.Error.Error())
+	}
+	for _, g := range res.Groups {
+		scope := key
+		if key == "" {
+			scope = prefix + "*"
+			if g.Group != "" {
+				scope = fmt.Sprintf("%s* [%s]", prefix, g.Group)
+			}
+		}
+		fmt.Printf("%s  (%d keys, %.0f observations)\n", scope, g.Keys, g.Count)
+		for _, agg := range g.Aggregations {
+			if agg.Error != nil {
+				fmt.Printf("  %s: error: %s\n", agg.Op, agg.Error.Error())
+				continue
+			}
+			switch agg.Op {
+			case query.OpStats:
+				st := agg.Stats
+				fmt.Printf("  min/mean/max  %g / %g / %g  (stddev %g)\n", st.Min, st.Mean, st.Max, st.StdDev)
+			case query.OpQuantiles:
+				for _, qp := range agg.Quantiles {
+					suffix := ""
+					if agg.Degraded {
+						suffix = "  (degraded: moment bounds)"
+					}
+					fmt.Printf("  p%-6g %g%s\n", qp.Q*100, qp.Value, suffix)
+				}
+			case query.OpThreshold:
+				th := agg.Threshold
+				fmt.Printf("  p%g > %g: %v  (resolved by %s)\n", th.Phi*100, th.T, th.Above, th.Stage)
+			}
+		}
+	}
+	return nil
+}
+
+// flagSet reports whether the named flag was explicitly provided.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func cmdInfo(args []string) error {

@@ -1,0 +1,126 @@
+// Batchquery: the dashboard-refresh workload served by POST /v1/query.
+//
+// A monitoring dashboard refreshing a latency page needs, every few
+// seconds, quantiles for every (region, service) subgroup plus a handful
+// of SLO threshold checks. With one-shot endpoints that is dozens of round
+// trips; with the typed batched API it is a single POST whose subqueries
+// fan out over the server's parallel query executor, with per-subquery
+// error isolation.
+//
+// The example spins up a full in-process momentsd (shard store + HTTP
+// server), ingests keyed latencies, and issues one batched query mixing
+// group-bys, rollups and a deliberately missing key.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	// An in-process server: identical wiring to cmd/momentsd.
+	store := shard.New()
+	ts := httptest.NewServer(server.New(store))
+	defer ts.Close()
+
+	// Ingest latencies for region.service keys with distinct profiles.
+	rng := rand.New(rand.NewPCG(7, 9))
+	batch := store.NewBatch()
+	for _, region := range []string{"us", "eu", "ap"} {
+		for si, service := range []string{"web", "api", "db"} {
+			base := 5 + 10*float64(si)
+			for i := 0; i < 20_000; i++ {
+				v := base + rng.ExpFloat64()*20
+				if rng.Float64() < 0.02 {
+					v += 200 // occasional slow path
+				}
+				batch.Add(region+"."+service, v)
+			}
+		}
+	}
+	fmt.Printf("ingested %d observations across %d keys\n", batch.Flush(), store.Len())
+
+	// One dashboard refresh: four subqueries, one round trip.
+	groupByService, groupByRegion := 1, 0
+	all, us := "", "us."
+	t99 := 150.0
+	req := query.Request{Queries: []query.Subquery{
+		{
+			ID:     "latency-by-service",
+			Select: query.Selection{Prefix: &all, GroupBy: &groupByService},
+			Aggregations: []query.Aggregation{
+				{Op: query.OpQuantiles, Phis: []float64{0.5, 0.99}},
+			},
+		},
+		{
+			ID:     "latency-by-region",
+			Select: query.Selection{Prefix: &all, GroupBy: &groupByRegion},
+			Aggregations: []query.Aggregation{
+				{Op: query.OpQuantiles, Phis: []float64{0.99}},
+				{Op: query.OpStats},
+			},
+		},
+		{
+			ID:           "us-slo",
+			Select:       query.Selection{Prefix: &us},
+			Aggregations: []query.Aggregation{{Op: query.OpThreshold, T: &t99}},
+		},
+		{
+			ID:           "decommissioned",
+			Select:       query.Selection{Key: "sa.web"},
+			Aggregations: []query.Aggregation{{Op: query.OpStats}},
+		},
+	}}
+
+	payload, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	httpResp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		panic(err)
+	}
+	defer httpResp.Body.Close()
+	var resp query.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		panic(err)
+	}
+
+	for _, res := range resp.Results {
+		fmt.Printf("\n[%s]\n", res.ID)
+		if res.Error != nil {
+			// Isolated failure: the rest of the batch still answered.
+			fmt.Printf("  error %s: %s\n", res.Error.Code, res.Error.Message)
+			continue
+		}
+		for _, g := range res.Groups {
+			label := g.Group
+			if label == "" {
+				label = "(rollup)"
+			}
+			fmt.Printf("  %-10s %5d keys %8.0f obs", label, g.Keys, g.Count)
+			for _, agg := range g.Aggregations {
+				switch agg.Op {
+				case query.OpQuantiles:
+					for _, qp := range agg.Quantiles {
+						fmt.Printf("  p%g=%.1fms", qp.Q*100, qp.Value)
+					}
+				case query.OpStats:
+					fmt.Printf("  mean=%.1fms", agg.Stats.Mean)
+				case query.OpThreshold:
+					fmt.Printf("  p%g>%.0fms: %v (%s stage)",
+						agg.Threshold.Phi*100, agg.Threshold.T, agg.Threshold.Above, agg.Threshold.Stage)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -48,6 +48,9 @@ type Cube struct {
 	strides []int
 	factory func() sketch.Summary
 	cells   map[uint64]*Cell
+	// sorted caches the packed-key-ordered cell list that deterministic
+	// aggregation iterates; cell creation invalidates it.
+	sorted []*Cell
 }
 
 // New builds an empty cube. factory creates the per-cell summary. The
@@ -101,6 +104,7 @@ func (c *Cube) Ingest(coords []int, value float64) {
 			Summary: c.factory(),
 		}
 		c.cells[k] = cell
+		c.sorted = nil
 	}
 	cell.Summary.Add(value)
 	cell.Sum += value
@@ -121,6 +125,7 @@ func (c *Cube) IngestSummary(coords []int, s sketch.Summary, sum, count float64)
 			Summary: c.factory(),
 		}
 		c.cells[k] = cell
+		c.sorted = nil
 	}
 	if err := cell.Summary.Merge(s); err != nil {
 		return err
@@ -152,13 +157,37 @@ func matches(cell *Cell, filters []Filter) bool {
 	return true
 }
 
+// sortedCells returns the materialized cells in ascending packed-key
+// order. Aggregations iterate cells through this so merge order — and
+// therefore the floating-point rounding of the merged moments — is
+// deterministic for a given cube, not subject to map iteration order.
+// The order is computed once per cube state and cached (invalidated when
+// a cell is created), so repeated queries do not pay a per-call sort.
+func (c *Cube) sortedCells() []*Cell {
+	if c.sorted != nil {
+		return c.sorted
+	}
+	keys := make([]uint64, 0, len(c.cells))
+	for k := range c.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*Cell, len(keys))
+	for i, k := range keys {
+		out[i] = c.cells[k]
+	}
+	c.sorted = out
+	return out
+}
+
 // Query merges every matching cell's summary into a fresh aggregate — the
 // Druid-style roll-up. It returns the merged summary and the number of
-// merges performed.
+// merges performed. Cells merge in packed-key order, so the result is
+// bit-deterministic for a given cube.
 func (c *Cube) Query(filters ...Filter) (sketch.Summary, int, error) {
 	agg := c.factory()
 	merges := 0
-	for _, cell := range c.cells {
+	for _, cell := range c.sortedCells() {
 		if matches(cell, filters) {
 			if err := agg.Merge(cell.Summary); err != nil {
 				return nil, merges, err
@@ -185,7 +214,7 @@ func (c *Cube) QuerySum(filters ...Filter) (sum, count float64) {
 // subgroup enumeration.
 func (c *Cube) GroupBy(dims []int, filters ...Filter) (map[string]sketch.Summary, error) {
 	out := make(map[string]sketch.Summary)
-	for _, cell := range c.cells {
+	for _, cell := range c.sortedCells() {
 		if !matches(cell, filters) {
 			continue
 		}
@@ -218,10 +247,11 @@ type Group struct {
 // GroupByCoords rolls up matching cells grouped by the given dimensions,
 // like GroupBy, but returns the grouped coordinate values so callers can
 // map groups back to dimension labels. Groups are sorted by coordinate,
-// lexicographically over dims.
+// lexicographically over dims; cells merge into their group in packed-key
+// order, so each group's rollup is bit-deterministic for a given cube.
 func (c *Cube) GroupByCoords(dims []int, filters ...Filter) ([]Group, error) {
 	byKey := make(map[string]*Group)
-	for _, cell := range c.cells {
+	for _, cell := range c.sortedCells() {
 		if !matches(cell, filters) {
 			continue
 		}

@@ -1,0 +1,136 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// benchStore holds 128 dashboard groups of 2 keys each, the acceptance
+// workload: one batched request carrying ≥ 100 group-by subqueries.
+func benchStore(b *testing.B) *shard.Store {
+	b.Helper()
+	store := shard.New(shard.WithShards(16))
+	rng := rand.New(rand.NewPCG(1, 2))
+	batch := store.NewBatch()
+	for g := 0; g < 128; g++ {
+		for k := 0; k < 2; k++ {
+			key := fmt.Sprintf("g%d.k%d", g, k)
+			for i := 0; i < 500; i++ {
+				batch.Add(key, math.Exp(rng.NormFloat64()*0.5)+float64(g%7))
+			}
+		}
+	}
+	batch.Flush()
+	return store
+}
+
+func benchRequest() *Request {
+	var req Request
+	for g := 0; g < 128; g++ {
+		prefix, level := fmt.Sprintf("g%d.", g), 1
+		req.Queries = append(req.Queries, Subquery{
+			ID:     fmt.Sprintf("q%d", g),
+			Select: Selection{Prefix: &prefix, GroupBy: &level},
+			Aggregations: []Aggregation{
+				{Op: OpQuantiles, Phis: []float64{0.5, 0.99}},
+				{Op: OpStats},
+			},
+		})
+	}
+	return &req
+}
+
+// BenchmarkBatch128GroupByParallel measures one batched Execute of 128
+// group-by subqueries on the parallel executor (GOMAXPROCS workers) — the
+// /v1/query hot path.
+func BenchmarkBatch128GroupByParallel(b *testing.B) {
+	store := benchStore(b)
+	e := NewEngine(store, Config{})
+	req := benchRequest()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, qerr := e.Execute(context.Background(), req)
+		if qerr != nil {
+			b.Fatal(qerr)
+		}
+		if resp.Results[0].Error != nil {
+			b.Fatal(resp.Results[0].Error)
+		}
+	}
+	b.ReportMetric(float64(len(req.Queries))*float64(b.N)/b.Elapsed().Seconds(), "subqueries/s")
+}
+
+// BenchmarkBatch128GroupBySequential is the pre-/v1/query baseline: the
+// same 128 subqueries issued as sequential single-subquery requests, the
+// way a dashboard had to loop over the one-shot GET endpoints.
+func BenchmarkBatch128GroupBySequential(b *testing.B) {
+	store := benchStore(b)
+	e := NewEngine(store, Config{})
+	req := benchRequest()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sq := range req.Queries {
+			resp, qerr := e.Execute(context.Background(), &Request{Queries: []Subquery{sq}})
+			if qerr != nil {
+				b.Fatal(qerr)
+			}
+			if resp.Results[0].Error != nil {
+				b.Fatal(resp.Results[0].Error)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(req.Queries))*float64(b.N)/b.Elapsed().Seconds(), "subqueries/s")
+}
+
+// BenchmarkBatchSharedSelection measures the planner's selection dedup: 16
+// aggregation-heavy subqueries all over the same prefix rollup pay one
+// merge and one solve.
+func BenchmarkBatchSharedSelection(b *testing.B) {
+	store := benchStore(b)
+	e := NewEngine(store, Config{})
+	prefix := "g7."
+	var req Request
+	for i := 0; i < 16; i++ {
+		req.Queries = append(req.Queries, Subquery{
+			Select: Selection{Prefix: &prefix},
+			Aggregations: []Aggregation{
+				{Op: OpQuantiles, Phis: []float64{float64(i+1) / 20}},
+				{Op: OpCDF, Xs: []float64{1, 2}},
+				{Op: OpHistogram, Buckets: 16},
+			},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, qerr := e.Execute(context.Background(), &req); qerr != nil {
+			b.Fatal(qerr)
+		}
+	}
+}
+
+// BenchmarkExecuteWorkers sweeps the worker pool size on the 128-subquery
+// batch, pinning down the executor's scaling curve.
+func BenchmarkExecuteWorkers(b *testing.B) {
+	store := benchStore(b)
+	req := benchRequest()
+	for _, workers := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := NewEngine(store, Config{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, qerr := e.Execute(context.Background(), req); qerr != nil {
+					b.Fatal(qerr)
+				}
+			}
+		})
+	}
+}

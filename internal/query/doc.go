@@ -1,0 +1,36 @@
+// Package query is the typed query layer between the HTTP surface and the
+// sharded sketch store: a batched request model plus a parallel
+// planner/executor.
+//
+// A Request is a batch of independent Subqueries. Each subquery pairs a
+// Selection of the key space — an exact key, a prefix rollup, or a prefix
+// partitioned by a key segment (group_by) — with a list of typed
+// Aggregations: quantiles, cdf, threshold (via the paper's cascade),
+// rank_bounds, histogram and stats. This is the paper's headline workload
+// (Gan et al., VLDB 2018 §2): an interactive dashboard refreshing dozens to
+// thousands of quantile aggregations over high-cardinality subgroups in one
+// round trip.
+//
+// The Engine plans before it executes:
+//
+//   - Every subquery is validated up front, so malformed input fails before
+//     any sketch is merged or any density solved.
+//   - Selections are deduplicated across the batch: ten subqueries over the
+//     same rollup merge its per-key sketches exactly once.
+//   - Unique selections fan out over a bounded worker pool (Config.Workers,
+//     default GOMAXPROCS).
+//   - Each rollup's maximum-entropy density is solved lazily and memoized,
+//     so quantiles, cdf and histogram aggregations of one selection share a
+//     single solve.
+//   - The request context is honored: when the deadline passes, remaining
+//     subqueries fail with deadline_exceeded instead of running to
+//     completion.
+//
+// Failures are isolated at two levels. A subquery that cannot be resolved
+// (bad selection, no matching keys, deadline) carries its own {code,
+// message} Error and leaves the rest of the batch intact; an aggregation
+// that cannot be estimated (the solver's documented not_converged failure
+// on near-discrete data) carries an aggregation-level Error, or degrades to
+// guaranteed moment bounds where the paper defines a sound fallback
+// (quantiles, threshold).
+package query

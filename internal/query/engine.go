@@ -1,0 +1,374 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/bounds"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/maxent"
+	"repro/internal/shard"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Separator splits keys into segments for group_by selections
+	// (default ".").
+	Separator string
+	// Solver configures the maximum-entropy solver used for estimates.
+	Solver maxent.Options
+	// Workers bounds the executor's concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// Engine plans and executes batched query requests against a shard store.
+// All methods are safe for concurrent use.
+type Engine struct {
+	store   *shard.Store
+	sep     string
+	solver  maxent.Options
+	workers int
+
+	statsMu      sync.Mutex
+	cascadeStats cascade.Stats
+}
+
+// NewEngine wires an Engine around store.
+func NewEngine(store *shard.Store, cfg Config) *Engine {
+	if cfg.Separator == "" {
+		cfg.Separator = "."
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		store:   store,
+		sep:     cfg.Separator,
+		solver:  cfg.Solver,
+		workers: cfg.Workers,
+	}
+}
+
+// CascadeStats returns the accumulated threshold-cascade counters.
+func (e *Engine) CascadeStats() cascade.Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.cascadeStats
+}
+
+func (e *Engine) foldCascadeStats(st *cascade.Stats) {
+	e.statsMu.Lock()
+	e.cascadeStats.Queries += st.Queries
+	for i := range st.Resolved {
+		e.cascadeStats.Resolved[i] += st.Resolved[i]
+		e.cascadeStats.Time[i] += st.Time[i]
+	}
+	e.statsMu.Unlock()
+}
+
+// task is one planned unit of execution: a unique selection plus every
+// subquery that references it. Deduplicating selections means a batch that
+// asks ten different aggregations of the same rollup merges its sketches
+// once and solves its max-ent density at most once.
+type task struct {
+	sel        Selection
+	subqueries []int
+}
+
+// group is one materialized rollup with a lazily solved, memoized
+// maximum-entropy density. A group is only touched by the single task
+// goroutine that owns its selection, so the lazy fields need no lock.
+type group struct {
+	label  string
+	keys   int
+	sk     *core.Sketch
+	solved bool
+	sol    *maxent.Solution
+	solErr error
+}
+
+// solution returns the memoized maximum-entropy solution for the group,
+// solving on first use. Every aggregation that needs the density (quantiles,
+// cdf, histogram) shares this one solve.
+func (g *group) solution(opts maxent.Options) (*maxent.Solution, error) {
+	if !g.solved {
+		g.sol, g.solErr = maxent.SolveSketch(g.sk, opts)
+		g.solved = true
+	}
+	return g.sol, g.solErr
+}
+
+// Execute validates, plans and runs a batched request. Subqueries fan out
+// over a bounded worker pool; each failure is isolated to its own Result.
+// The returned *Error is non-nil only for request-envelope problems (an
+// empty or oversized batch) — per-subquery failures never fail the batch.
+func (e *Engine) Execute(ctx context.Context, req *Request) (*Response, *Error) {
+	if req == nil || len(req.Queries) == 0 {
+		return nil, Errorf(CodeInvalid, "request needs at least one subquery")
+	}
+	if len(req.Queries) > MaxSubqueries {
+		return nil, Errorf(CodeTooLarge, "too many subqueries (%d > %d)", len(req.Queries), MaxSubqueries)
+	}
+
+	results := make([]Result, len(req.Queries))
+
+	// Plan: validate every subquery up front (malformed ones fail here,
+	// before any data work) and deduplicate selections so each distinct
+	// rollup is materialized exactly once.
+	var tasks []*task
+	taskBySel := make(map[string]*task)
+	for i := range req.Queries {
+		sq := &req.Queries[i]
+		results[i].ID = sq.ID
+		if err := sq.validate(); err != nil {
+			results[i].Error = err
+			continue
+		}
+		key := selectionKey(&sq.Select)
+		t, ok := taskBySel[key]
+		if !ok {
+			t = &task{sel: sq.Select}
+			taskBySel[key] = t
+			tasks = append(tasks, t)
+		}
+		t.subqueries = append(t.subqueries, i)
+	}
+
+	// Execute: fan tasks out over the worker pool. Each subquery index
+	// belongs to exactly one task, so tasks write disjoint entries of
+	// results and need no lock.
+	workers := e.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			e.runTask(ctx, t, req, results)
+		}
+		return &Response{Results: results}, nil
+	}
+	queue := make(chan *task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				e.runTask(ctx, t, req, results)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		queue <- t
+	}
+	close(queue)
+	wg.Wait()
+	return &Response{Results: results}, nil
+}
+
+// selectionKey canonicalizes a selection for deduplication. The NUL
+// separators cannot collide with key bytes that matter: a key and a prefix
+// with equal text are still distinct selections.
+func selectionKey(sel *Selection) string {
+	if sel.Key != "" {
+		return "k\x00" + sel.Key
+	}
+	if sel.GroupBy != nil {
+		return "g\x00" + strconv.Itoa(*sel.GroupBy) + "\x00" + *sel.Prefix
+	}
+	return "p\x00" + *sel.Prefix
+}
+
+func (e *Engine) runTask(ctx context.Context, t *task, req *Request, results []Result) {
+	groups, selErr := e.resolveSelection(ctx, &t.sel)
+	for _, qi := range t.subqueries {
+		if selErr == nil {
+			if err := ctx.Err(); err != nil {
+				selErr = ctxError(err)
+			}
+		}
+		if selErr != nil {
+			results[qi].Error = selErr
+			continue
+		}
+		results[qi].Groups = e.evalSubquery(groups, &req.Queries[qi])
+	}
+}
+
+// ctxError maps a context failure onto the error envelope.
+func ctxError(err error) *Error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Errorf(CodeDeadline, "request deadline exceeded")
+	}
+	return Errorf(CodeCanceled, "request canceled")
+}
+
+// resolveSelection materializes the rollup(s) a selection names: one merged
+// sketch for key and prefix selections, one per distinct segment value for
+// group_by selections.
+func (e *Engine) resolveSelection(ctx context.Context, sel *Selection) ([]*group, *Error) {
+	switch {
+	case sel.Key != "":
+		sk, ok := e.store.Sketch(sel.Key)
+		if !ok || sk.IsEmpty() {
+			return nil, Errorf(CodeNotFound, "no such key: %q", sel.Key)
+		}
+		return []*group{{keys: 1, sk: sk}}, nil
+
+	case sel.GroupBy == nil:
+		merged, merges, err := e.store.MergePrefixContext(ctx, *sel.Prefix)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctxError(ctx.Err())
+			}
+			return nil, Errorf(CodeInternal, "merging prefix %q: %v", *sel.Prefix, err)
+		}
+		if merges == 0 || merged.IsEmpty() {
+			return nil, Errorf(CodeNotFound, "no keys with prefix %q", *sel.Prefix)
+		}
+		return []*group{{keys: merges, sk: merged}}, nil
+
+	default:
+		matches, err := e.store.MatchContext(ctx, *sel.Prefix)
+		if err != nil {
+			return nil, ctxError(err)
+		}
+		if len(matches) == 0 {
+			return nil, Errorf(CodeNotFound, "no keys with prefix %q", *sel.Prefix)
+		}
+		return e.groupBySegment(matches, *sel.GroupBy)
+	}
+}
+
+func (e *Engine) evalSubquery(groups []*group, sq *Subquery) []GroupResult {
+	out := make([]GroupResult, len(groups))
+	for gi, g := range groups {
+		aggs := make([]AggResult, len(sq.Aggregations))
+		for ai := range sq.Aggregations {
+			aggs[ai] = e.evalAgg(g, &sq.Aggregations[ai])
+		}
+		out[gi] = GroupResult{
+			Group:        g.label,
+			Keys:         g.keys,
+			Count:        g.sk.Count,
+			Aggregations: aggs,
+		}
+	}
+	return out
+}
+
+func (e *Engine) evalAgg(g *group, a *Aggregation) AggResult {
+	res := AggResult{Op: a.Op}
+	switch a.Op {
+	case OpQuantiles:
+		phis := a.phis()
+		sol, err := g.solution(e.solver)
+		points := make([]QuantilePoint, len(phis))
+		for i, phi := range phis {
+			var v float64
+			if err == nil {
+				v = sol.Quantile(phi)
+			} else {
+				// Same degradation policy as shard.QuantileOf: invert the
+				// guaranteed rank bounds when the solver cannot converge.
+				v = bounds.InvertRTT(g.sk, phi)
+			}
+			points[i] = QuantilePoint{Q: phi, Value: v}
+		}
+		res.Quantiles = points
+		res.Degraded = err != nil
+
+	case OpCDF:
+		sol, err := g.solution(e.solver)
+		if err != nil {
+			res.Error = Errorf(CodeNotConverged, "%v", err)
+			return res
+		}
+		points := make([]CDFPoint, len(a.Xs))
+		for i, x := range a.Xs {
+			points[i] = CDFPoint{X: x, Fraction: sol.CDF(x)}
+		}
+		res.CDF = points
+
+	case OpThreshold:
+		cfg := cascade.Full()
+		cfg.Solver = e.solver
+		var st cascade.Stats
+		above, err := cascade.Threshold(g.sk, *a.T, a.thresholdPhi(), cfg, &st)
+		e.foldCascadeStats(&st)
+		if err != nil && !errors.Is(err, maxent.ErrNotConverged) {
+			res.Error = Errorf(CodeInternal, "%v", err)
+			return res
+		}
+		res.Threshold = &ThresholdResult{
+			T:     *a.T,
+			Phi:   a.thresholdPhi(),
+			Above: above,
+			Stage: resolvedStage(&st),
+		}
+		// The cascade still decided via guaranteed bounds; surface that the
+		// solver did not converge rather than failing the aggregation.
+		res.Degraded = err != nil
+
+	case OpRankBounds:
+		points := make([]RankBoundsPoint, len(a.Xs))
+		for i, x := range a.Xs {
+			iv := bounds.RTT(g.sk, x)
+			points[i] = RankBoundsPoint{X: x, Lo: iv.Lo, Hi: iv.Hi}
+		}
+		res.RankBounds = points
+
+	case OpHistogram:
+		sol, err := g.solution(e.solver)
+		if err != nil {
+			res.Error = Errorf(CodeNotConverged, "%v", err)
+			return res
+		}
+		res.Histogram = histogramOf(sol, a.Buckets)
+
+	case OpStats:
+		res.Stats = &StatsResult{
+			Count:    g.sk.Count,
+			Min:      g.sk.Min,
+			Max:      g.sk.Max,
+			Mean:     g.sk.Mean(),
+			Variance: g.sk.Variance(),
+			StdDev:   g.sk.StdDev(),
+		}
+	}
+	return res
+}
+
+// histogramOf renders a solved density as n equal-width buckets over its
+// support. Fractions sum to ~1.
+func histogramOf(sol *maxent.Solution, n int) []HistogramBucket {
+	lo, hi := sol.Support()
+	out := make([]HistogramBucket, n)
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		r := lo + (hi-lo)*float64(i+1)/float64(n)
+		c := sol.CDF(r)
+		out[i] = HistogramBucket{
+			Lo:       lo + (hi-lo)*float64(i)/float64(n),
+			Hi:       r,
+			Fraction: c - prev,
+		}
+		prev = c
+	}
+	return out
+}
+
+// resolvedStage names the cascade stage that settled the single query
+// recorded in st.
+func resolvedStage(st *cascade.Stats) string {
+	for stage := cascade.Stage(0); stage < cascade.NumStages; stage++ {
+		if st.Resolved[stage] > 0 {
+			return stage.String()
+		}
+	}
+	return "?"
+}

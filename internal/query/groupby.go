@@ -1,0 +1,115 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cube"
+	"repro/internal/shard"
+	"repro/internal/sketch"
+	"repro/moments"
+)
+
+// groupBySegment materializes the matched sketches into an ephemeral
+// internal/cube data cube whose dimensions are the key's
+// separator-delimited segments, then rolls them up grouped by the requested
+// segment with GroupByCoords. Each group carries the merged rollup of every
+// key sharing that segment value; its Keys counts those matched keys (not
+// cube cells — distinct keys can collapse into one cell when segment
+// padding makes their coordinates coincide).
+func (e *Engine) groupBySegment(matches []shard.Keyed, level int) ([]*group, *Error) {
+	c, labels, err := e.buildCube(matches)
+	if err != nil {
+		return nil, Errorf(CodeInternal, "building rollup cube: %v", err)
+	}
+	if level >= len(labels) {
+		return nil, Errorf(CodeInvalid, "group_by must be a key-segment index in [0,%d)", len(labels))
+	}
+	cubeGroups, err := c.GroupByCoords([]int{level})
+	if err != nil {
+		return nil, Errorf(CodeInternal, "rollup: %v", err)
+	}
+	keysPerLabel := make(map[string]int, len(cubeGroups))
+	for _, m := range matches {
+		segs := strings.Split(m.Key, e.sep)
+		seg := ""
+		if level < len(segs) {
+			seg = segs[level]
+		}
+		keysPerLabel[seg]++
+	}
+	out := make([]*group, len(cubeGroups))
+	for i, g := range cubeGroups {
+		label := labels[level][g.Coords[0]]
+		out[i] = &group{
+			label: label,
+			keys:  keysPerLabel[label],
+			sk:    g.Summary.(*sketch.MSketch).S.Raw(),
+		}
+	}
+	return out, nil
+}
+
+// buildCube materializes the matched sketches into a data cube whose
+// dimensions are the key segments (split on the engine's separator; short
+// keys pad with ""). It returns the cube and, per dimension, the segment
+// label for each coordinate id.
+func (e *Engine) buildCube(matches []shard.Keyed) (*cube.Cube, [][]string, error) {
+	depth := 1
+	split := make([][]string, len(matches))
+	for i, m := range matches {
+		split[i] = strings.Split(m.Key, e.sep)
+		if len(split[i]) > depth {
+			depth = len(split[i])
+		}
+	}
+
+	ids := make([]map[string]int, depth)
+	labels := make([][]string, depth)
+	for l := range ids {
+		ids[l] = make(map[string]int)
+	}
+	coordsOf := func(segs []string) []int {
+		coords := make([]int, depth)
+		for l := 0; l < depth; l++ {
+			seg := ""
+			if l < len(segs) {
+				seg = segs[l]
+			}
+			id, ok := ids[l][seg]
+			if !ok {
+				id = len(labels[l])
+				ids[l][seg] = id
+				labels[l] = append(labels[l], seg)
+			}
+			coords[l] = id
+		}
+		return coords
+	}
+	allCoords := make([][]int, len(matches))
+	for i := range matches {
+		allCoords[i] = coordsOf(split[i])
+	}
+
+	schema := cube.Schema{Dims: make([]string, depth), Card: make([]int, depth)}
+	for l := 0; l < depth; l++ {
+		schema.Dims[l] = fmt.Sprintf("seg%d", l)
+		schema.Card[l] = len(labels[l])
+	}
+	k := e.store.Order()
+	c, err := cube.New(schema, func() sketch.Summary { return sketch.NewMSketch(k) })
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, m := range matches {
+		summary := &sketch.MSketch{S: moments.FromRaw(m.Sketch)}
+		sum := 0.0
+		if !m.Sketch.IsEmpty() {
+			sum = m.Sketch.Pow[0]
+		}
+		if err := c.IngestSummary(allCoords[i], summary, sum, m.Sketch.Count); err != nil {
+			return nil, nil, err
+		}
+	}
+	return c, labels, nil
+}

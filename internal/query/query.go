@@ -1,0 +1,331 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+)
+
+// Limits on a single request, chosen so a maximally adversarial batch stays
+// bounded in both memory and compute.
+const (
+	// MaxSubqueries bounds the number of subqueries in one request.
+	MaxSubqueries = 4096
+	// MaxAggregations bounds the aggregations of one subquery.
+	MaxAggregations = 32
+	// MaxPoints bounds the φ values / evaluation points of one aggregation.
+	MaxPoints = 256
+	// MaxHistogramBuckets bounds one histogram aggregation's bucket count.
+	MaxHistogramBuckets = 4096
+)
+
+// DefaultPhis are the quantile fractions reported when a quantiles
+// aggregation names none.
+var DefaultPhis = []float64{0.5, 0.9, 0.99}
+
+// Error codes carried by the structured error envelope. HTTPStatus maps
+// them onto transport status codes.
+const (
+	CodeInvalid      = "invalid_request"
+	CodeNotFound     = "not_found"
+	CodeNotConverged = "not_converged"
+	CodeDeadline     = "deadline_exceeded"
+	CodeCanceled     = "canceled"
+	CodeTooLarge     = "too_large"
+	CodeInternal     = "internal"
+)
+
+// Error is the structured {code, message} envelope used for request-level,
+// subquery-level and aggregation-level failures.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// HTTPStatus maps the error code onto an HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalid:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeNotConverged:
+		return http.StatusUnprocessableEntity
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return http.StatusServiceUnavailable
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
+}
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Aggregation operators.
+const (
+	OpQuantiles  = "quantiles"
+	OpCDF        = "cdf"
+	OpThreshold  = "threshold"
+	OpRankBounds = "rank_bounds"
+	OpHistogram  = "histogram"
+	OpStats      = "stats"
+)
+
+// Request is a batch of independent subqueries evaluated in one round trip.
+type Request struct {
+	Queries []Subquery `json:"queries"`
+}
+
+// Subquery pairs one selection of the key space with the aggregations to
+// evaluate over it.
+type Subquery struct {
+	// ID is an optional client-chosen tag echoed back on the result.
+	ID     string    `json:"id,omitempty"`
+	Select Selection `json:"select"`
+	// Aggregations are evaluated in order against the selected data.
+	Aggregations []Aggregation `json:"aggregations"`
+}
+
+// Selection picks the sketches a subquery aggregates over. Exactly one of
+// Key and Prefix must be set. Prefix is a pointer so that the empty prefix
+// (select every key) stays expressible.
+type Selection struct {
+	// Key selects a single exact key.
+	Key string `json:"key,omitempty"`
+	// Prefix selects every key with this prefix, merged into one rollup.
+	Prefix *string `json:"prefix,omitempty"`
+	// GroupBy partitions a prefix selection into one rollup per distinct
+	// value of the given separator-delimited key segment (0-based). Only
+	// valid together with Prefix.
+	GroupBy *int `json:"group_by,omitempty"`
+}
+
+// Aggregation is one typed aggregation operator. Op selects the operator;
+// the remaining fields parameterize it:
+//
+//	quantiles:   Phis (default DefaultPhis)
+//	cdf:         Xs (required)
+//	threshold:   T (required), Phi (default 0.99)
+//	rank_bounds: Xs (required)
+//	histogram:   Buckets (required, ≥ 1)
+//	stats:       no parameters
+type Aggregation struct {
+	Op      string    `json:"op"`
+	Phis    []float64 `json:"phis,omitempty"`
+	Xs      []float64 `json:"xs,omitempty"`
+	T       *float64  `json:"t,omitempty"`
+	Phi     *float64  `json:"phi,omitempty"`
+	Buckets int       `json:"buckets,omitempty"`
+}
+
+// Response carries one Result per request subquery, in request order.
+type Response struct {
+	Results []Result `json:"results"`
+}
+
+// Result is the outcome of one subquery. Errors are isolated: a failed
+// subquery sets Error and leaves the rest of the batch untouched.
+type Result struct {
+	ID    string `json:"id,omitempty"`
+	Error *Error `json:"error,omitempty"`
+	// Groups holds one entry per selected rollup: exactly one for key and
+	// plain prefix selections, one per distinct segment value for group_by
+	// selections (sorted by group label).
+	Groups []GroupResult `json:"groups,omitempty"`
+}
+
+// GroupResult is one rollup's aggregation results.
+type GroupResult struct {
+	// Group is the grouped segment value (empty for key/prefix selections).
+	Group string `json:"group,omitempty"`
+	// Keys counts the per-key sketches merged into this rollup.
+	Keys int `json:"keys"`
+	// Count is the number of observations in the rollup.
+	Count float64 `json:"count"`
+	// Aggregations holds one result per requested aggregation, in order.
+	Aggregations []AggResult `json:"aggregations"`
+}
+
+// AggResult is the outcome of one aggregation on one group. Exactly one of
+// the payload fields matching Op is populated unless Error is set.
+type AggResult struct {
+	Op    string `json:"op"`
+	Error *Error `json:"error,omitempty"`
+	// Degraded reports that the maximum-entropy solver did not converge and
+	// the result fell back to guaranteed moment bounds.
+	Degraded   bool              `json:"degraded,omitempty"`
+	Quantiles  []QuantilePoint   `json:"quantiles,omitempty"`
+	CDF        []CDFPoint        `json:"cdf,omitempty"`
+	Threshold  *ThresholdResult  `json:"threshold,omitempty"`
+	RankBounds []RankBoundsPoint `json:"rank_bounds,omitempty"`
+	Histogram  []HistogramBucket `json:"histogram,omitempty"`
+	Stats      *StatsResult      `json:"stats,omitempty"`
+}
+
+// QuantilePoint is one (φ, estimate) pair.
+type QuantilePoint struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+// CDFPoint is one (x, P[X ≤ x]) pair.
+type CDFPoint struct {
+	X        float64 `json:"x"`
+	Fraction float64 `json:"fraction"`
+}
+
+// RankBoundsPoint carries the guaranteed bounds on the fraction of values
+// ≤ X.
+type RankBoundsPoint struct {
+	X  float64 `json:"x"`
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// HistogramBucket is one bar of an estimated equal-width histogram.
+type HistogramBucket struct {
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Fraction float64 `json:"fraction"`
+}
+
+// ThresholdResult answers "is the φ-quantile above T?", with the cascade
+// stage that settled it.
+type ThresholdResult struct {
+	T     float64 `json:"t"`
+	Phi   float64 `json:"phi"`
+	Above bool    `json:"above"`
+	Stage string  `json:"stage"`
+}
+
+// StatsResult carries the closed-form summary statistics of a rollup.
+type StatsResult struct {
+	Count    float64 `json:"count"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	StdDev   float64 `json:"stddev"`
+}
+
+// DefaultThresholdPhi is the quantile fraction a threshold aggregation
+// tests when none is given.
+const DefaultThresholdPhi = 0.99
+
+// validate checks one subquery without touching any data, so malformed
+// subqueries fail before the executor spends a single merge or solve on
+// them.
+func (q *Subquery) validate() *Error {
+	if err := q.Select.validate(); err != nil {
+		return err
+	}
+	if len(q.Aggregations) == 0 {
+		return Errorf(CodeInvalid, "subquery needs at least one aggregation")
+	}
+	if len(q.Aggregations) > MaxAggregations {
+		return Errorf(CodeInvalid, "too many aggregations (%d > %d)", len(q.Aggregations), MaxAggregations)
+	}
+	for i := range q.Aggregations {
+		if err := q.Aggregations[i].validate(); err != nil {
+			return Errorf(CodeInvalid, "aggregation %d: %s", i, err.Message)
+		}
+	}
+	return nil
+}
+
+func (sel *Selection) validate() *Error {
+	hasKey := sel.Key != ""
+	hasPrefix := sel.Prefix != nil
+	switch {
+	case hasKey && hasPrefix:
+		return Errorf(CodeInvalid, "select: key and prefix are mutually exclusive")
+	case !hasKey && !hasPrefix:
+		return Errorf(CodeInvalid, "select: need key or prefix")
+	}
+	if sel.GroupBy != nil {
+		if !hasPrefix {
+			return Errorf(CodeInvalid, "select: group_by requires a prefix selection")
+		}
+		if *sel.GroupBy < 0 {
+			return Errorf(CodeInvalid, "select: group_by must be a non-negative key-segment index")
+		}
+	}
+	return nil
+}
+
+func (a *Aggregation) validate() *Error {
+	switch a.Op {
+	case OpQuantiles:
+		if len(a.Phis) > MaxPoints {
+			return Errorf(CodeInvalid, "too many quantile fractions (%d > %d)", len(a.Phis), MaxPoints)
+		}
+		for _, phi := range a.Phis {
+			if !validPhi(phi) {
+				return Errorf(CodeInvalid, "quantile fraction %v outside [0,1]", phi)
+			}
+		}
+	case OpCDF, OpRankBounds:
+		if len(a.Xs) == 0 {
+			return Errorf(CodeInvalid, "%s needs at least one evaluation point in xs", a.Op)
+		}
+		if len(a.Xs) > MaxPoints {
+			return Errorf(CodeInvalid, "too many evaluation points (%d > %d)", len(a.Xs), MaxPoints)
+		}
+		for _, x := range a.Xs {
+			if math.IsNaN(x) {
+				return Errorf(CodeInvalid, "%s evaluation point is NaN", a.Op)
+			}
+		}
+	case OpThreshold:
+		if a.T == nil || math.IsNaN(*a.T) || math.IsInf(*a.T, 0) {
+			return Errorf(CodeInvalid, "threshold needs a finite t")
+		}
+		if a.Phi != nil && !validPhi(*a.Phi) {
+			return Errorf(CodeInvalid, "threshold phi %v outside [0,1]", *a.Phi)
+		}
+	case OpHistogram:
+		if a.Buckets < 1 {
+			return Errorf(CodeInvalid, "histogram needs buckets ≥ 1")
+		}
+		if a.Buckets > MaxHistogramBuckets {
+			return Errorf(CodeInvalid, "too many histogram buckets (%d > %d)", a.Buckets, MaxHistogramBuckets)
+		}
+	case OpStats:
+		// No parameters.
+	case "":
+		return Errorf(CodeInvalid, "missing op")
+	default:
+		return Errorf(CodeInvalid, "unknown op %q", a.Op)
+	}
+	return nil
+}
+
+func validPhi(phi float64) bool {
+	return !math.IsNaN(phi) && phi >= 0 && phi <= 1
+}
+
+// phis returns the quantile fractions of a quantiles aggregation,
+// defaulting to DefaultPhis.
+func (a *Aggregation) phis() []float64 {
+	if len(a.Phis) == 0 {
+		return DefaultPhis
+	}
+	return a.Phis
+}
+
+// thresholdPhi returns the quantile fraction of a threshold aggregation,
+// defaulting to DefaultThresholdPhi.
+func (a *Aggregation) thresholdPhi() float64 {
+	if a.Phi == nil {
+		return DefaultThresholdPhi
+	}
+	return *a.Phi
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/query"
+)
+
+// This file implements the deprecated single-shot GET endpoints as thin
+// adapters over the /v1/query engine: each handler translates its URL
+// parameters into a one-subquery batch, executes it, and reshapes the
+// engine result into the endpoint's historical JSON shape. The shaping
+// helpers are pure so the equivalence test suite can assert byte-identical
+// behavior between a GET endpoint and its /v1/query translation.
+
+// execOne runs a single-subquery batch and returns its lone result.
+func (s *Server) execOne(ctx context.Context, sq query.Subquery) *query.Result {
+	resp, err := s.engine.Execute(ctx, &query.Request{Queries: []query.Subquery{sq}})
+	if err != nil {
+		return &query.Result{Error: err}
+	}
+	return &resp.Results[0]
+}
+
+// quantileSubquery is the /v1/query translation of GET /quantile.
+func quantileSubquery(key string, phis []float64) query.Subquery {
+	return query.Subquery{
+		Select: query.Selection{Key: key},
+		Aggregations: []query.Aggregation{
+			{Op: query.OpStats},
+			{Op: query.OpQuantiles, Phis: phis},
+		},
+	}
+}
+
+// shapeQuantile reshapes the engine result into the legacy /quantile body.
+func shapeQuantile(key string, res *query.Result) (map[string]any, *query.Error) {
+	if res.Error != nil {
+		return nil, res.Error
+	}
+	g := res.Groups[0]
+	st, q := g.Aggregations[0].Stats, g.Aggregations[1]
+	body := map[string]any{
+		"key":       key,
+		"count":     st.Count,
+		"min":       st.Min,
+		"max":       st.Max,
+		"mean":      st.Mean,
+		"quantiles": q.Quantiles,
+	}
+	if q.Degraded {
+		body["degraded"] = true
+	}
+	return body, nil
+}
+
+// Deprecated: GET /quantile answers quantile queries over one exact key.
+// It is an adapter over POST /v1/query; prefer the batched endpoint.
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key := q.Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "missing key parameter")
+		return
+	}
+	phis, err := parsePhis(q["q"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "%v", err)
+		return
+	}
+	body, qerr := shapeQuantile(key, s.execOne(r.Context(), quantileSubquery(key, phis)))
+	if qerr != nil {
+		writeQueryError(w, qerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// mergeSubquery is the /v1/query translation of GET /merge without groupby.
+func mergeSubquery(prefix string, phis []float64) query.Subquery {
+	return query.Subquery{
+		Select: query.Selection{Prefix: &prefix},
+		Aggregations: []query.Aggregation{
+			{Op: query.OpStats},
+			{Op: query.OpQuantiles, Phis: phis},
+		},
+	}
+}
+
+// shapeMerge reshapes the engine result into the legacy /merge rollup body.
+func shapeMerge(prefix string, res *query.Result) (map[string]any, *query.Error) {
+	if res.Error != nil {
+		return nil, res.Error
+	}
+	g := res.Groups[0]
+	st, q := g.Aggregations[0].Stats, g.Aggregations[1]
+	body := map[string]any{
+		"prefix":    prefix,
+		"keys":      g.Keys,
+		"merges":    g.Keys,
+		"count":     st.Count,
+		"min":       st.Min,
+		"max":       st.Max,
+		"quantiles": q.Quantiles,
+	}
+	if q.Degraded {
+		body["degraded"] = true
+	}
+	return body, nil
+}
+
+// groupBySubquery is the /v1/query translation of GET /merge with groupby.
+func groupBySubquery(prefix string, level int, phis []float64) query.Subquery {
+	return query.Subquery{
+		Select: query.Selection{Prefix: &prefix, GroupBy: &level},
+		Aggregations: []query.Aggregation{
+			{Op: query.OpQuantiles, Phis: phis},
+		},
+	}
+}
+
+// shapeGroupBy reshapes the engine result into the legacy /merge group-by
+// body.
+func shapeGroupBy(prefix string, level int, res *query.Result) (map[string]any, *query.Error) {
+	if res.Error != nil {
+		return nil, res.Error
+	}
+	type groupResult struct {
+		Group     string                `json:"group"`
+		Keys      int                   `json:"keys"`
+		Count     float64               `json:"count"`
+		Quantiles []query.QuantilePoint `json:"quantiles"`
+	}
+	results := make([]groupResult, len(res.Groups))
+	keys := 0
+	for i, g := range res.Groups {
+		results[i] = groupResult{
+			Group:     g.Group,
+			Keys:      g.Keys,
+			Count:     g.Count,
+			Quantiles: g.Aggregations[0].Quantiles,
+		}
+		keys += g.Keys
+	}
+	return map[string]any{
+		"prefix":  prefix,
+		"groupby": level,
+		"keys":    keys,
+		"groups":  results,
+	}, nil
+}
+
+// Deprecated: GET /merge answers cube-style rollups: merge every key under
+// a prefix, optionally grouped by one key segment. It is an adapter over
+// POST /v1/query; prefer the batched endpoint.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	prefix := q.Get("prefix")
+	phis, err := parsePhis(q["q"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "%v", err)
+		return
+	}
+
+	if !q.Has("groupby") {
+		body, qerr := shapeMerge(prefix, s.execOne(r.Context(), mergeSubquery(prefix, phis)))
+		if qerr != nil {
+			writeQueryError(w, qerr)
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+
+	level, err := strconv.Atoi(q.Get("groupby"))
+	if err != nil || level < 0 {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid,
+			"groupby must be a non-negative key-segment index")
+		return
+	}
+	body, qerr := shapeGroupBy(prefix, level, s.execOne(r.Context(), groupBySubquery(prefix, level, phis)))
+	if qerr != nil {
+		writeQueryError(w, qerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// thresholdSubquery is the /v1/query translation of GET /threshold.
+func thresholdSubquery(key, prefix string, hasPrefix bool, t, phi float64) query.Subquery {
+	sel := query.Selection{Key: key}
+	if hasPrefix {
+		sel = query.Selection{Prefix: &prefix}
+	}
+	return query.Subquery{
+		Select: sel,
+		Aggregations: []query.Aggregation{
+			{Op: query.OpThreshold, T: &t, Phi: &phi},
+		},
+	}
+}
+
+// shapeThreshold reshapes the engine result into the legacy /threshold
+// body.
+func shapeThreshold(key, prefix string, hasPrefix bool, res *query.Result) (map[string]any, *query.Error) {
+	if res.Error != nil {
+		return nil, res.Error
+	}
+	g := res.Groups[0]
+	agg := g.Aggregations[0]
+	if agg.Error != nil {
+		return nil, agg.Error
+	}
+	th := agg.Threshold
+	body := map[string]any{
+		"t":     th.T,
+		"phi":   th.Phi,
+		"above": th.Above,
+		"count": g.Count,
+		"stage": th.Stage,
+	}
+	if hasPrefix {
+		body["prefix"] = prefix
+		body["merges"] = g.Keys
+	} else {
+		body["key"] = key
+	}
+	if agg.Degraded {
+		body["degraded"] = true
+	}
+	return body, nil
+}
+
+// Deprecated: GET /threshold answers "is the φ-quantile above t?" for one
+// key or prefix rollup via the cascade. It is an adapter over POST
+// /v1/query; prefer the batched endpoint.
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, prefix := q.Get("key"), q.Get("prefix")
+	hasPrefix := q.Has("prefix")
+	if key == "" && !hasPrefix {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "need key or prefix parameter")
+		return
+	}
+	if key != "" && hasPrefix {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "key and prefix are mutually exclusive")
+		return
+	}
+	t, err := parseFloat(q, "t", math.NaN())
+	if err != nil || math.IsNaN(t) {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "missing or invalid t parameter")
+		return
+	}
+	phi, err := parseFloat(q, "phi", query.DefaultThresholdPhi)
+	if err != nil || math.IsNaN(phi) || phi < 0 || phi > 1 {
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "phi must be in [0,1]")
+		return
+	}
+
+	res := s.execOne(r.Context(), thresholdSubquery(key, prefix, hasPrefix, t, phi))
+	body, qerr := shapeThreshold(key, prefix, hasPrefix, res)
+	if qerr != nil {
+		writeQueryError(w, qerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

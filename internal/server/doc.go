@@ -1,29 +1,38 @@
 // Package server exposes a shard.Store of per-key moments sketches over
 // HTTP — the serving path that turns the paper's merge-cheap summaries into
-// an interactive aggregation service. The endpoints mirror the paper's
-// query workloads:
+// an interactive aggregation service.
 //
 //	POST /ingest     batch observation ingest (JSON body or NDJSON stream)
-//	GET  /quantile   per-key quantile estimates (maximum entropy, §4)
-//	GET  /merge      cube-style rollup across keys by prefix, with optional
-//	                 group-by on a key segment (§7.1, via internal/cube)
-//	GET  /threshold  "is the φ-quantile above t?" through the cascade (§5.2)
+//	POST /v1/query   batched typed queries: any number of subqueries (key,
+//	                 prefix rollup, or group-by selection × quantiles, cdf,
+//	                 threshold, rank_bounds, histogram, stats aggregations),
+//	                 executed by the parallel internal/query engine with
+//	                 per-subquery error isolation
 //	GET  /keys       key listing by prefix
 //	GET  /snapshot   binary snapshot stream of the whole store
 //	POST /restore    replace store contents from a snapshot stream
 //	GET  /stats      store totals plus cascade stage-resolution counters
 //	GET  /healthz    liveness probe
 //
+// Deprecated single-shot endpoints, kept as thin adapters that translate
+// into one-subquery /v1/query batches (an equivalence test suite pins each
+// to its translation byte-for-byte):
+//
+//	GET  /quantile   per-key quantile estimates (maximum entropy, §4)
+//	GET  /merge      cube-style rollup across keys by prefix, with optional
+//	                 group-by on a key segment (§7.1, via internal/cube)
+//	GET  /threshold  "is the φ-quantile above t?" through the cascade (§5.2)
+//
 // Ingest hot path: request bodies are decoded into pooled shard.Batch
 // buffers, so steady-state ingest takes each stripe lock once per request
 // and allocates only what encoding/json itself needs. Queries clone the
 // fixed-size sketch under the stripe lock and run estimation outside it,
-// so slow maximum-entropy solves never block writers.
+// so slow maximum-entropy solves never block writers; see internal/query
+// for the planner/executor (selection dedup, bounded worker pool, memoized
+// solves, context deadlines).
 //
-// Rollups treat keys as dot-separated dimension paths ("region.service.
-// endpoint"): /merge?prefix=us. merges every key under us., and
-// &groupby=1 splits the rollup by the second path segment. Internally the
-// matching sketches are materialized into an ephemeral internal/cube data
-// cube and rolled up with its Query/GroupByCoords — the same aggregation
-// engine the offline experiments benchmark.
+// Every error response — request-level, subquery-level and
+// aggregation-level — carries the structured {code, message} envelope of
+// internal/query, mapped onto HTTP statuses (invalid_request 400,
+// not_found 404, not_converged 422, too_large 413, deadline_exceeded 504).
 package server

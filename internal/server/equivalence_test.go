@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// The equivalence suite asserts that every legacy GET endpoint returns
+// byte-identical results to its /v1/query translation: the GET response
+// body must equal the result of posting the adapter's subquery to
+// /v1/query and reshaping the typed response through the same shaping
+// helper the adapter uses. Both paths run the engine independently, so
+// equality holds only if (a) the adapters faithfully delegate to the
+// engine and (b) engine results are bit-deterministic.
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, b)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postV1(t *testing.T, ts *httptest.Server, req query.Request) *query.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/query: status %d, body %s", resp.StatusCode, b)
+	}
+	var out query.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// encodeLikeServer marshals v exactly as writeJSON does (no HTML escaping,
+// trailing newline), so byte comparison against a served body is exact.
+func encodeLikeServer(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func assertEquivalent(t *testing.T, name string, got []byte, shaped map[string]any, qerr *query.Error) {
+	t.Helper()
+	if qerr != nil {
+		t.Fatalf("%s: shaping v1 response: %v", name, qerr)
+	}
+	want := encodeLikeServer(t, shaped)
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: legacy GET and /v1/query translation differ\nlegacy: %s\nv1:     %s", name, got, want)
+	}
+}
+
+func TestEquivalenceQuantile(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	legacy := getBody(t, ts.URL+"/quantile?key=us.web&q=0.5,0.9,0.99")
+	v1 := postV1(t, ts, query.Request{Queries: []query.Subquery{
+		quantileSubquery("us.web", []float64{0.5, 0.9, 0.99}),
+	}})
+	shaped, qerr := shapeQuantile("us.web", &v1.Results[0])
+	assertEquivalent(t, "quantile", legacy, shaped, qerr)
+}
+
+func TestEquivalenceMergeRollup(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	legacy := getBody(t, ts.URL+"/merge?prefix=us.&q=0.5,0.99")
+	v1 := postV1(t, ts, query.Request{Queries: []query.Subquery{
+		mergeSubquery("us.", []float64{0.5, 0.99}),
+	}})
+	shaped, qerr := shapeMerge("us.", &v1.Results[0])
+	assertEquivalent(t, "merge", legacy, shaped, qerr)
+}
+
+func TestEquivalenceMergeGroupBy(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	legacy := getBody(t, ts.URL+"/merge?groupby=0&q=0.5")
+	v1 := postV1(t, ts, query.Request{Queries: []query.Subquery{
+		groupBySubquery("", 0, []float64{0.5}),
+	}})
+	shaped, qerr := shapeGroupBy("", 0, &v1.Results[0])
+	assertEquivalent(t, "merge groupby", legacy, shaped, qerr)
+}
+
+func TestEquivalenceThreshold(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	cases := []struct {
+		name        string
+		url         string
+		key, prefix string
+		hasPrefix   bool
+		t, phi      float64
+	}{
+		{"key", "/threshold?key=us.web&t=1e9&phi=0.99", "us.web", "", false, 1e9, 0.99},
+		{"prefix", "/threshold?prefix=eu.&t=1&phi=0.5", "", "eu.", true, 1, 0.5},
+	}
+	for _, tc := range cases {
+		legacy := getBody(t, ts.URL+tc.url)
+		v1 := postV1(t, ts, query.Request{Queries: []query.Subquery{
+			thresholdSubquery(tc.key, tc.prefix, tc.hasPrefix, tc.t, tc.phi),
+		}})
+		shaped, qerr := shapeThreshold(tc.key, tc.prefix, tc.hasPrefix, &v1.Results[0])
+		assertEquivalent(t, "threshold "+tc.name, legacy, shaped, qerr)
+	}
+}
+
+// TestEquivalenceRepeatable double-checks the premise of the suite: the
+// same query answered twice must be byte-identical (deterministic merge
+// order and solver).
+func TestEquivalenceRepeatable(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+	for _, url := range []string{
+		"/quantile?key=eu.api&q=0.9",
+		"/merge?prefix=&q=0.5",
+		"/merge?groupby=1&q=0.99",
+	} {
+		a := getBody(t, ts.URL+url)
+		b := getBody(t, ts.URL+url)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two identical queries differ:\n%s\n%s", url, a, b)
+		}
+	}
+}
+
+// TestErrorEnvelope asserts the structured {code, message} envelope on
+// every failing endpoint, with codes mapped to the right statuses.
+func TestErrorEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	cases := []struct {
+		method, url, body string
+		status            int
+		code              string
+	}{
+		{"GET", "/quantile", "", http.StatusBadRequest, query.CodeInvalid},
+		{"GET", "/quantile?key=missing", "", http.StatusNotFound, query.CodeNotFound},
+		{"GET", "/quantile?key=x&q=1.5", "", http.StatusBadRequest, query.CodeInvalid},
+		{"GET", "/merge?prefix=asia.", "", http.StatusNotFound, query.CodeNotFound},
+		{"GET", "/merge?groupby=9", "", http.StatusBadRequest, query.CodeInvalid},
+		{"GET", "/threshold?key=us.web", "", http.StatusBadRequest, query.CodeInvalid},
+		{"GET", "/threshold?key=missing&t=1", "", http.StatusNotFound, query.CodeNotFound},
+		{"POST", "/ingest", `[{"key":"","value":1}]`, http.StatusBadRequest, query.CodeInvalid},
+		{"POST", "/restore", "garbage", http.StatusBadRequest, query.CodeInvalid},
+		{"POST", "/v1/query", `{`, http.StatusBadRequest, query.CodeInvalid},
+		{"POST", "/v1/query", `{"queries":[]}`, http.StatusBadRequest, query.CodeInvalid},
+		{"POST", "/v1/query", `{"unknown_field":1}`, http.StatusBadRequest, query.CodeInvalid},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var err error
+		if tc.method == "GET" {
+			resp, err = http.Get(ts.URL + tc.url)
+		} else {
+			resp, err = http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.url, resp.StatusCode, tc.status)
+		}
+		var envelope struct {
+			Error *query.Error `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("%s %s: decoding envelope: %v", tc.method, tc.url, err)
+		}
+		resp.Body.Close()
+		if envelope.Error == nil {
+			t.Errorf("%s %s: no error envelope", tc.method, tc.url)
+			continue
+		}
+		if envelope.Error.Code != tc.code {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.url, envelope.Error.Code, tc.code)
+		}
+		if envelope.Error.Message == "" {
+			t.Errorf("%s %s: empty message", tc.method, tc.url)
+		}
+	}
+}
+
+// TestV1QueryBatchHTTP exercises the batched endpoint end to end: a batch
+// mixing group-bys, rollups, exact keys and failures returns per-subquery
+// results with isolated errors.
+func TestV1QueryBatchHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	euPrefix, emptyPrefix, level := "eu.", "", 1
+	tVal := 1.0
+	req := query.Request{Queries: []query.Subquery{
+		{
+			ID:     "by-service",
+			Select: query.Selection{Prefix: &emptyPrefix, GroupBy: &level},
+			Aggregations: []query.Aggregation{
+				{Op: query.OpQuantiles, Phis: []float64{0.5, 0.99}},
+				{Op: query.OpStats},
+			},
+		},
+		{
+			ID:           "eu-threshold",
+			Select:       query.Selection{Prefix: &euPrefix},
+			Aggregations: []query.Aggregation{{Op: query.OpThreshold, T: &tVal}},
+		},
+		{
+			ID:           "missing",
+			Select:       query.Selection{Key: "nope"},
+			Aggregations: []query.Aggregation{{Op: query.OpStats}},
+		},
+		{
+			ID:           "exact",
+			Select:       query.Selection{Key: "us.web"},
+			Aggregations: []query.Aggregation{{Op: query.OpRankBounds, Xs: []float64{1}}},
+		},
+	}}
+	resp := postV1(t, ts, req)
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	byService := resp.Results[0]
+	if byService.Error != nil {
+		t.Fatalf("by-service: %v", byService.Error)
+	}
+	if len(byService.Groups) != 2 {
+		t.Fatalf("by-service: %d groups, want 2 (web, api)", len(byService.Groups))
+	}
+	for _, g := range byService.Groups {
+		if g.Group != "web" && g.Group != "api" {
+			t.Errorf("unexpected group %q", g.Group)
+		}
+		if g.Keys != 2 || g.Count != 4000 {
+			t.Errorf("group %q: keys/count = %d/%v, want 2/4000", g.Group, g.Keys, g.Count)
+		}
+	}
+	if th := resp.Results[1]; th.Error != nil || th.Groups[0].Aggregations[0].Threshold == nil {
+		t.Errorf("eu-threshold: %+v", th)
+	}
+	if m := resp.Results[2]; m.Error == nil || m.Error.Code != query.CodeNotFound {
+		t.Errorf("missing: error = %v, want %s", m.Error, query.CodeNotFound)
+	}
+	if e := resp.Results[3]; e.Error != nil || len(e.Groups[0].Aggregations[0].RankBounds) != 1 {
+		t.Errorf("exact: %+v", e)
+	}
+}
+
+// TestV1QueryLargeBatch sends a batch of 120 group-by subqueries over HTTP
+// (the acceptance scenario) and checks every result arrives in order.
+func TestV1QueryLargeBatch(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedRegions(t, ts)
+
+	var req query.Request
+	for i := 0; i < 120; i++ {
+		prefix, level := "", i%2
+		req.Queries = append(req.Queries, query.Subquery{
+			ID:           fmt.Sprintf("q%d", i),
+			Select:       query.Selection{Prefix: &prefix, GroupBy: &level},
+			Aggregations: []query.Aggregation{{Op: query.OpQuantiles, Phis: []float64{0.9}}},
+		})
+	}
+	resp := postV1(t, ts, req)
+	if len(resp.Results) != 120 {
+		t.Fatalf("got %d results, want 120", len(resp.Results))
+	}
+	for i, res := range resp.Results {
+		if res.ID != fmt.Sprintf("q%d", i) {
+			t.Fatalf("result %d has id %q", i, res.ID)
+		}
+		if res.Error != nil {
+			t.Errorf("result %d: %v", i, res.Error)
+		}
+		if len(res.Groups) != 2 {
+			t.Errorf("result %d: %d groups, want 2", i, len(res.Groups))
+		}
+	}
+}

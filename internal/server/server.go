@@ -13,14 +13,13 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/bounds"
 	"repro/internal/cascade"
-	"repro/internal/core"
 	"repro/internal/maxent"
+	"repro/internal/query"
 	"repro/internal/shard"
 )
 
-// DefaultMaxBodyBytes caps ingest request bodies (32 MiB).
+// DefaultMaxBodyBytes caps ingest and /v1/query request bodies (32 MiB).
 const DefaultMaxBodyBytes = 32 << 20
 
 // restoreBodyFactor scales the ingest body cap up for /restore: snapshots
@@ -29,29 +28,27 @@ const DefaultMaxBodyBytes = 32 << 20
 // pin.
 const restoreBodyFactor = 32
 
-// defaultPhis are the quantiles reported when a query names none.
-var defaultPhis = []float64{0.5, 0.9, 0.99}
-
-// Server is the HTTP front end of a shard.Store. It implements
-// http.Handler; construct with New.
+// Server is the HTTP front end of a shard.Store. All query endpoints are
+// thin adapters over one internal/query Engine: POST /v1/query exposes it
+// directly; the legacy GET endpoints translate to single-subquery batches.
+// It implements http.Handler; construct with New.
 type Server struct {
 	store   *shard.Store
+	engine  *query.Engine
 	mux     *http.ServeMux
 	sep     string
 	maxBody int64
 	solver  maxent.Options
+	workers int
 	start   time.Time
 
 	batches sync.Pool
-
-	statsMu      sync.Mutex
-	cascadeStats cascade.Stats
 }
 
 // ServerOption configures a Server at construction.
 type ServerOption func(*Server)
 
-// WithKeySeparator sets the segment separator used by /merge group-bys
+// WithKeySeparator sets the segment separator used by group-by selections
 // (default ".").
 func WithKeySeparator(sep string) ServerOption {
 	return func(s *Server) { s.sep = sep }
@@ -63,9 +60,15 @@ func WithMaxBodyBytes(n int64) ServerOption {
 }
 
 // WithSolverOptions sets the maximum-entropy solver options used for
-// estimates over merged (rollup) sketches.
+// estimates.
 func WithSolverOptions(o maxent.Options) ServerOption {
 	return func(s *Server) { s.solver = o }
+}
+
+// WithQueryWorkers bounds the query engine's executor concurrency
+// (default GOMAXPROCS).
+func WithQueryWorkers(n int) ServerOption {
+	return func(s *Server) { s.workers = n }
 }
 
 // New wires a Server around store.
@@ -80,9 +83,17 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.engine = query.NewEngine(store, query.Config{
+		Separator: s.sep,
+		Solver:    s.solver,
+		Workers:   s.workers,
+	})
 	s.batches.New = func() any { return store.NewBatch() }
 
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/query", s.handleQueryV1)
+	// Deprecated single-shot query endpoints, kept as adapters over the
+	// same engine; prefer POST /v1/query.
 	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
 	s.mux.HandleFunc("GET /merge", s.handleMerge)
 	s.mux.HandleFunc("GET /threshold", s.handleThreshold)
@@ -93,6 +104,10 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /restore", s.handleRestore)
 	return s
 }
+
+// Engine exposes the server's query engine, e.g. for embedding callers
+// that want to bypass HTTP.
+func (s *Server) Engine() *query.Engine { return s.engine }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -107,8 +122,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError emits the structured {code, message} error envelope shared by
+// every endpoint.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]any{
+		"error": &query.Error{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// writeQueryError maps a query error onto its HTTP status (not_found →
+// 404, not_converged → 422, deadline_exceeded → 504, ...).
+func writeQueryError(w http.ResponseWriter, err *query.Error) {
+	writeJSON(w, err.HTTPStatus(), map[string]any{"error": err})
 }
 
 // wireObservation is the ingest wire shape. Value is a pointer so a
@@ -162,10 +187,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxErr.Limit)
+			writeError(w, http.StatusRequestEntityTooLarge, query.CodeTooLarge,
+				"body exceeds %d bytes", maxErr.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "%v", err)
 		return
 	}
 	n := batch.Flush()
@@ -244,153 +270,6 @@ func firstNonSpace(br *bufio.Reader) (byte, error) {
 	}
 }
 
-// quantilePoint is one (φ, estimate) pair in a response.
-type quantilePoint struct {
-	Q     float64 `json:"q"`
-	Value float64 `json:"value"`
-}
-
-func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	key := q.Get("key")
-	if key == "" {
-		writeError(w, http.StatusBadRequest, "missing key parameter")
-		return
-	}
-	phis, err := parsePhis(q["q"])
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	sk, ok := s.store.Sketch(key)
-	if !ok || sk.IsEmpty() {
-		writeError(w, http.StatusNotFound, "no such key: %q", key)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"key":       key,
-		"count":     sk.Count,
-		"min":       sk.Min,
-		"max":       sk.Max,
-		"mean":      sk.Mean(),
-		"quantiles": s.quantilePoints(sk, phis),
-	})
-}
-
-// quantilePoints estimates every requested quantile from one solve with the
-// server's solver options, falling back to rank-bound inversion per φ when
-// the solver cannot converge (the solve is not retried per φ).
-func (s *Server) quantilePoints(sk *core.Sketch, phis []float64) []quantilePoint {
-	out := make([]quantilePoint, len(phis))
-	sol, err := maxent.SolveSketch(sk, s.solver)
-	for i, phi := range phis {
-		var v float64
-		if err == nil {
-			v = sol.Quantile(phi)
-		} else {
-			v = bounds.InvertRTT(sk, phi)
-		}
-		out[i] = quantilePoint{Q: phi, Value: v}
-	}
-	return out
-}
-
-func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	key, prefix := q.Get("key"), q.Get("prefix")
-	if key == "" && !q.Has("prefix") {
-		writeError(w, http.StatusBadRequest, "need key or prefix parameter")
-		return
-	}
-	if key != "" && q.Has("prefix") {
-		writeError(w, http.StatusBadRequest, "key and prefix are mutually exclusive")
-		return
-	}
-	t, err := parseFloat(q, "t", math.NaN())
-	if err != nil || math.IsNaN(t) {
-		writeError(w, http.StatusBadRequest, "missing or invalid t parameter")
-		return
-	}
-	phi, err := parseFloat(q, "phi", 0.99)
-	if err != nil || math.IsNaN(phi) || phi < 0 || phi > 1 {
-		writeError(w, http.StatusBadRequest, "phi must be in [0,1]")
-		return
-	}
-
-	var sk *core.Sketch
-	scope := map[string]any{}
-	if key != "" {
-		var ok bool
-		sk, ok = s.store.Sketch(key)
-		if !ok {
-			writeError(w, http.StatusNotFound, "no such key: %q", key)
-			return
-		}
-		scope["key"] = key
-	} else {
-		var merges int
-		sk, merges, err = s.store.MergePrefix(prefix)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		if merges == 0 {
-			writeError(w, http.StatusNotFound, "no keys with prefix %q", prefix)
-			return
-		}
-		scope["prefix"] = prefix
-		scope["merges"] = merges
-	}
-
-	cfg := cascade.Full()
-	cfg.Solver = s.solver
-	var st cascade.Stats
-	above, err := cascade.Threshold(sk, t, phi, cfg, &st)
-	if errors.Is(err, core.ErrEmpty) {
-		writeError(w, http.StatusNotFound, "no data in scope")
-		return
-	}
-	s.foldCascadeStats(&st)
-
-	resp := map[string]any{
-		"t":     t,
-		"phi":   phi,
-		"above": above,
-		"count": sk.Count,
-		"stage": resolvedStage(&st),
-	}
-	for k, v := range scope {
-		resp[k] = v
-	}
-	if err != nil {
-		// The cascade still decided via guaranteed bounds; surface that the
-		// solver did not converge rather than failing the query.
-		resp["degraded"] = true
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// resolvedStage names the cascade stage that settled the last query
-// recorded in st (which tracked exactly one query).
-func resolvedStage(st *cascade.Stats) string {
-	for stage := cascade.Stage(0); stage < cascade.NumStages; stage++ {
-		if st.Resolved[stage] > 0 {
-			return stage.String()
-		}
-	}
-	return "?"
-}
-
-func (s *Server) foldCascadeStats(st *cascade.Stats) {
-	s.statsMu.Lock()
-	s.cascadeStats.Queries += st.Queries
-	for i := range st.Resolved {
-		s.cascadeStats.Resolved[i] += st.Resolved[i]
-		s.cascadeStats.Time[i] += st.Time[i]
-	}
-	s.statsMu.Unlock()
-}
-
 func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	keys := s.store.Keys(r.URL.Query().Get("prefix"))
 	if keys == nil {
@@ -400,9 +279,7 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.statsMu.Lock()
-	cs := s.cascadeStats
-	s.statsMu.Unlock()
+	cs := s.engine.CascadeStats()
 	resolved := map[string]int{}
 	for stage := cascade.Stage(0); stage < cascade.NumStages; stage++ {
 		resolved[stage.String()] = cs.Resolved[stage]
@@ -441,7 +318,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	// bounds the memory one request can pin.
 	body := http.MaxBytesReader(w, r.Body, s.maxBody*restoreBodyFactor)
 	if err := s.store.Restore(body); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -451,7 +328,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 }
 
 // parsePhis parses repeated and/or comma-separated q parameters into
-// quantile fractions, defaulting to defaultPhis.
+// quantile fractions, defaulting to query.DefaultPhis.
 func parsePhis(params []string) ([]float64, error) {
 	var out []float64
 	for _, p := range params {
@@ -468,7 +345,7 @@ func parsePhis(params []string) ([]float64, error) {
 		}
 	}
 	if len(out) == 0 {
-		return append([]float64(nil), defaultPhis...), nil
+		return append([]float64(nil), query.DefaultPhis...), nil
 	}
 	if len(out) > 64 {
 		return nil, fmt.Errorf("too many quantile fractions (%d > 64)", len(out))

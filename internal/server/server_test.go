@@ -407,10 +407,16 @@ func TestConcurrentServerStress(t *testing.T) {
 		}(streams[c])
 	}
 	// Query load during ingest: failures other than 404 (key not yet
-	// ingested) are errors.
+	// ingested) are errors. The batched endpoint rides along — a /v1/query
+	// batch always returns 200 with per-subquery errors inside.
+	v1batch := `{"queries":[` +
+		`{"select":{"key":"g0.k0"},"aggregations":[{"op":"quantiles","phis":[0.9]}]},` +
+		`{"select":{"prefix":"g1."},"aggregations":[{"op":"stats"}]},` +
+		`{"select":{"prefix":"","group_by":0},"aggregations":[{"op":"quantiles"}]},` +
+		`{"select":{"prefix":"g2."},"aggregations":[{"op":"threshold","t":1,"phi":0.9}]}]}`
 	done := make(chan struct{})
 	var queriers sync.WaitGroup
-	for qd := 0; qd < 3; qd++ {
+	for qd := 0; qd < 4; qd++ {
 		queriers.Add(1)
 		go func(seed int) {
 			defer queriers.Done()
@@ -420,6 +426,7 @@ func TestConcurrentServerStress(t *testing.T) {
 				ts.URL + "/merge?groupby=0",
 				ts.URL + "/threshold?prefix=g2.&t=1&phi=0.9",
 				ts.URL + "/stats",
+				ts.URL + "/v1/query",
 			}
 			i := seed
 			for {
@@ -428,7 +435,14 @@ func TestConcurrentServerStress(t *testing.T) {
 					return
 				default:
 				}
-				resp, err := http.Get(urls[i%len(urls)])
+				url := urls[i%len(urls)]
+				var resp *http.Response
+				var err error
+				if strings.HasSuffix(url, "/v1/query") {
+					resp, err = http.Post(url, "application/json", strings.NewReader(v1batch))
+				} else {
+					resp, err = http.Get(url)
+				}
 				if err != nil {
 					errc <- err
 					return
@@ -436,7 +450,7 @@ func TestConcurrentServerStress(t *testing.T) {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
-					errc <- fmt.Errorf("query %s: status %d", urls[i%len(urls)], resp.StatusCode)
+					errc <- fmt.Errorf("query %s: status %d", url, resp.StatusCode)
 					return
 				}
 				i++

@@ -1,0 +1,35 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/query"
+)
+
+// handleQueryV1 is the batched typed query endpoint: one POST carrying any
+// mix of key / prefix / group-by subqueries, each with its own aggregation
+// list, executed by the parallel engine with per-subquery error isolation.
+func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req query.Request
+	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, query.CodeTooLarge,
+				"body exceeds %d bytes", maxErr.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, query.CodeInvalid, "decoding request: %v", err)
+		return
+	}
+	resp, qerr := s.engine.Execute(r.Context(), &req)
+	if qerr != nil {
+		writeQueryError(w, qerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -280,8 +281,19 @@ type Keyed struct {
 // Match returns a clone of every (key, sketch) whose key has the given
 // prefix, sorted by key. An empty prefix matches all keys.
 func (s *Store) Match(prefix string) []Keyed {
+	out, _ := s.MatchContext(context.Background(), prefix)
+	return out
+}
+
+// MatchContext is Match with cancellation: the scan checks ctx between
+// stripes and returns ctx.Err() when the deadline passes or the caller
+// gives up, so a query over a huge store cannot outlive its request.
+func (s *Store) MatchContext(ctx context.Context, prefix string) ([]Keyed, error) {
 	var out []Keyed
 	for i := range s.stripes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		st := &s.stripes[i]
 		st.mu.Lock()
 		for k, sk := range st.entries {
@@ -292,7 +304,7 @@ func (s *Store) Match(prefix string) []Keyed {
 		st.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	return out, nil
 }
 
 // MergePrefix rolls up every key with the given prefix into one sketch —
@@ -301,16 +313,36 @@ func (s *Store) Match(prefix string) []Keyed {
 // happens under each stripe lock without cloning, so a rollup over n keys
 // costs n vector additions.
 func (s *Store) MergePrefix(prefix string) (*core.Sketch, int, error) {
+	return s.MergePrefixContext(context.Background(), prefix)
+}
+
+// MergePrefixContext is MergePrefix with cancellation: the rollup checks
+// ctx between stripes and returns ctx.Err() when the deadline passes.
+//
+// Within each stripe keys merge in sorted order (stripes themselves merge
+// in index order), so for a quiescent store the rollup — including its
+// floating-point rounding — is deterministic, not subject to map iteration
+// order. Query layers rely on this to return bit-identical answers for
+// repeated queries.
+func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (*core.Sketch, int, error) {
 	out := core.New(s.k)
 	merges := 0
+	var keys []string
 	for i := range s.stripes {
+		if err := ctx.Err(); err != nil {
+			return nil, merges, err
+		}
 		st := &s.stripes[i]
+		keys = keys[:0]
 		st.mu.Lock()
-		for k, sk := range st.entries {
-			if !strings.HasPrefix(k, prefix) {
-				continue
+		for k := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
 			}
-			if err := out.Merge(sk); err != nil {
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := out.Merge(st.entries[k]); err != nil {
 				st.mu.Unlock()
 				return nil, merges, err
 			}

@@ -2,6 +2,8 @@ package shard
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -12,6 +14,64 @@ import (
 	"repro/internal/core"
 	"repro/internal/maxent"
 )
+
+func TestContextHelpers(t *testing.T) {
+	s := New(WithShards(8))
+	for i := 0; i < 64; i++ {
+		s.Add(fmt.Sprintf("svc.key%d", i), float64(i))
+	}
+
+	// Background context behaves exactly like the context-free methods.
+	got, err := s.MatchContext(context.Background(), "svc.")
+	if err != nil || len(got) != 64 {
+		t.Fatalf("MatchContext = %d keys, err %v", len(got), err)
+	}
+	merged, merges, err := s.MergePrefixContext(context.Background(), "svc.")
+	if err != nil || merges != 64 || merged.Count != 64 {
+		t.Fatalf("MergePrefixContext = %d merges (count %v), err %v", merges, merged.Count, err)
+	}
+
+	// A canceled context aborts both scans with ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.MatchContext(ctx, "svc."); !errors.Is(err, context.Canceled) {
+		t.Errorf("MatchContext on canceled ctx: err = %v", err)
+	}
+	if _, _, err := s.MergePrefixContext(ctx, "svc."); !errors.Is(err, context.Canceled) {
+		t.Errorf("MergePrefixContext on canceled ctx: err = %v", err)
+	}
+}
+
+// TestMergePrefixDeterministic: repeated rollups of a quiescent store must
+// be bit-identical — keys merge in sorted order within each stripe, not
+// map iteration order. Query layers rely on this for byte-identical
+// repeated responses.
+func TestMergePrefixDeterministic(t *testing.T) {
+	s := New(WithShards(4))
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("d.key%d", i)
+		for j := 0; j < 20; j++ {
+			s.Add(key, math.Exp(rng.NormFloat64()*3))
+		}
+	}
+	first, merges, err := s.MergePrefix("d.")
+	if err != nil || merges != 200 {
+		t.Fatalf("MergePrefix: merges %d, err %v", merges, err)
+	}
+	for round := 0; round < 5; round++ {
+		again, _, err := s.MergePrefix("d.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.Pow {
+			if again.Pow[i] != first.Pow[i] || again.LogPow[i] != first.LogPow[i] {
+				t.Fatalf("round %d: power sums differ at order %d: %v vs %v",
+					round, i+1, again.Pow[i], first.Pow[i])
+			}
+		}
+	}
+}
 
 func TestAddAndSketch(t *testing.T) {
 	s := New(WithShards(4), WithOrder(6))

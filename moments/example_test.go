@@ -1,0 +1,88 @@
+package moments_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/moments"
+)
+
+// ExampleSketch_Quantile builds a sketch over a known distribution and
+// estimates tail quantiles. Estimates are printed as relative error
+// against the exact sample quantiles, which keeps the output stable
+// across platforms while still demonstrating the ≈1% rank accuracy the
+// paper reports.
+func ExampleSketch_Quantile() {
+	s := moments.New()
+	for i := 1; i <= 100000; i++ {
+		s.Add(float64(i))
+	}
+
+	for _, phi := range []float64{0.5, 0.99} {
+		q, err := s.Quantile(phi)
+		if err != nil {
+			fmt.Println("estimate failed:", err)
+			return
+		}
+		exact := phi * 100000
+		fmt.Printf("p%g within 1%%: %v\n", phi*100, math.Abs(q-exact)/exact < 0.01)
+	}
+	// Output:
+	// p50 within 1%: true
+	// p99 within 1%: true
+}
+
+// ExampleMergeMany pre-aggregates per-partition sketches and rolls them up
+// with one merge pass — the data-cube workload the sketch is built for.
+// Merging is lossless: the rollup sees every observation.
+func ExampleMergeMany() {
+	var partitions []*moments.Sketch
+	for p := 0; p < 10; p++ {
+		s := moments.New()
+		for i := 0; i < 1000; i++ {
+			s.Add(float64(p*1000 + i))
+		}
+		partitions = append(partitions, s)
+	}
+
+	total, err := moments.MergeMany(partitions...)
+	if err != nil {
+		fmt.Println("merge failed:", err)
+		return
+	}
+	fmt.Printf("count: %.0f\n", total.Count())
+	fmt.Printf("range: [%.0f, %.0f]\n", total.Min(), total.Max())
+	median, _ := total.Median()
+	fmt.Printf("median within 1%%: %v\n", math.Abs(median-5000)/5000 < 0.01)
+	// Output:
+	// count: 10000
+	// range: [0, 9999]
+	// median within 1%: true
+}
+
+// ExampleSketch_Threshold answers "is the φ-quantile above t?" through the
+// cascade of moment-based bounds, which typically resolves without the
+// expensive density solve — the fast path for scanning many subgroups.
+func ExampleSketch_Threshold() {
+	s := moments.New()
+	for i := 1; i <= 10000; i++ {
+		s.Add(float64(i))
+	}
+
+	above, err := s.Threshold(9000, 0.99) // is p99 > 9000?
+	if err != nil {
+		fmt.Println("threshold failed:", err)
+		return
+	}
+	fmt.Println("p99 > 9000:", above)
+
+	above, err = s.Threshold(20000, 0.99) // is p99 > 20000 (beyond the max)?
+	if err != nil {
+		fmt.Println("threshold failed:", err)
+		return
+	}
+	fmt.Println("p99 > 20000:", above)
+	// Output:
+	// p99 > 9000: true
+	// p99 > 20000: false
+}

@@ -245,17 +245,21 @@ func (s *Sketch) Quantile(phi float64) (float64, error) {
 	return sol.Quantile(phi), nil
 }
 
-// Quantiles estimates several quantiles at once.
+// Quantiles estimates several quantiles at once. All fractions are
+// validated before the (comparatively expensive) density solve runs, so
+// malformed input fails in nanoseconds.
 func (s *Sketch) Quantiles(phis []float64) ([]float64, error) {
+	for _, phi := range phis {
+		if phi < 0 || phi > 1 || math.IsNaN(phi) {
+			return nil, errors.New("moments: quantile fraction outside [0,1]")
+		}
+	}
 	sol, err := s.solve()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(phis))
 	for i, phi := range phis {
-		if phi < 0 || phi > 1 || math.IsNaN(phi) {
-			return nil, errors.New("moments: quantile fraction outside [0,1]")
-		}
 		out[i] = sol.Quantile(phi)
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package moments
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"sort"
@@ -74,6 +75,29 @@ func TestQuantileValidation(t *testing.T) {
 	empty := New()
 	if _, err := empty.Quantile(0.5); err == nil {
 		t.Error("empty sketch must error")
+	}
+}
+
+func TestQuantilesValidatesBeforeSolve(t *testing.T) {
+	// Three point masses over a huge dynamic range: the solver's documented
+	// non-convergence case. A malformed phi must surface as a validation
+	// error — i.e. before the solve is even attempted — not as
+	// ErrNotConverged.
+	s := New()
+	for i := 0; i < 999; i++ {
+		s.Add([]float64{0, 1, 1e6}[i%3])
+	}
+	if _, err := s.Quantiles([]float64{0.5}); !errors.Is(err, ErrNotConverged) {
+		t.Skipf("fixture no longer solver-hostile (err=%v); test needs a new one", err)
+	}
+	for _, phis := range [][]float64{{1.5}, {0.5, -0.1}, {math.NaN()}} {
+		_, err := s.Quantiles(phis)
+		if err == nil {
+			t.Fatalf("phis %v: no error", phis)
+		}
+		if errors.Is(err, ErrNotConverged) {
+			t.Errorf("phis %v: got ErrNotConverged — solve ran before validation", phis)
+		}
 	}
 }
 
