@@ -7,12 +7,28 @@
 // Usage:
 //
 //	momentsd [-addr :7607] [-k 10] [-shards N] [-sep .] [-workers N]
+//	         [-pane-width DUR] [-panes N]
 //	         [-snapshot FILE] [-snapshot-interval DUR]
+//
+// With -pane-width, the store gains a time dimension: every key keeps a
+// ring of -panes fixed-width time panes alongside its all-time sketch,
+// enabling window selections on /v1/query and the POST /v1/windows alert
+// scan (sliding-window threshold queries per §7.2.2 of the paper, slid by
+// turnstile pane subtraction instead of re-merging):
+//
+//	momentsd -pane-width 1m -panes 240   # 4h of 1-minute panes
+//	curl -XPOST localhost:7607/v1/query -d '{"queries":[
+//	  {"id":"p99-last-hour","select":{"key":"us.web","window":{"last":60}},
+//	   "aggregations":[{"op":"quantiles","phis":[0.99]}]}]}'
+//	curl -XPOST localhost:7607/v1/windows \
+//	  -d '{"prefix":"us.","width":60,"t":100,"phi":0.99}'
 //
 // With -snapshot, the store is restored from FILE at startup (when the file
 // exists) and saved back on shutdown; -snapshot-interval additionally saves
 // periodically. Snapshots are written to a temp file and renamed, so a
-// crash mid-save never corrupts the previous snapshot.
+// crash mid-save never corrupts the previous snapshot. Windowed stores
+// write the versioned pane-carrying snapshot format; the pane
+// configuration must match when restoring.
 //
 // The primary query surface is the batched typed endpoint POST /v1/query
 // (see internal/query): one request carries any number of subqueries —
@@ -62,6 +78,8 @@ func main() {
 		shards       = flag.Int("shards", 0, "lock stripes (0 = 8×GOMAXPROCS, rounded to a power of two)")
 		sep          = flag.String("sep", ".", "key segment separator for group-by selections")
 		workers      = flag.Int("workers", 0, "query executor worker pool size (0 = GOMAXPROCS)")
+		paneWidth    = flag.Duration("pane-width", 0, "time pane width; > 0 enables windowed queries (/v1/query window selections, /v1/windows)")
+		panes        = flag.Int("panes", 240, "time panes retained per key when -pane-width is set")
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
 	)
@@ -70,7 +88,17 @@ func main() {
 	if *order < 1 || *order > core.MaxK {
 		log.Fatalf("momentsd: -k %d outside [1,%d]", *order, core.MaxK)
 	}
-	store := shard.New(shard.WithOrder(*order), shard.WithShards(*shards))
+	opts := []shard.Option{shard.WithOrder(*order), shard.WithShards(*shards)}
+	if *paneWidth < 0 {
+		log.Fatalf("momentsd: -pane-width must be positive")
+	}
+	if *paneWidth > 0 {
+		if *panes < 2 || *panes > shard.MaxRetention {
+			log.Fatalf("momentsd: -panes %d outside [2,%d]", *panes, shard.MaxRetention)
+		}
+		opts = append(opts, shard.WithWindow(*paneWidth, *panes))
+	}
+	store := shard.New(opts...)
 	if *snapshotPath != "" {
 		if err := loadSnapshot(store, *snapshotPath); err != nil {
 			log.Fatalf("momentsd: restoring snapshot: %v", err)
@@ -113,8 +141,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("momentsd: listening on %s (k=%d, %d shards)",
-			*addr, store.Order(), store.NumShards())
+		windowed := ""
+		if w, n, ok := store.WindowConfig(); ok {
+			windowed = fmt.Sprintf(", %d×%s panes", n, w)
+		}
+		log.Printf("momentsd: listening on %s (k=%d, %d shards%s)",
+			*addr, store.Order(), store.NumShards(), windowed)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -13,10 +13,21 @@
 // query doubles as a client for a running momentsd: with -server it
 // translates the flags into a POST /v1/query batch (or, with -batch,
 // forwards a raw request body from stdin) and pretty-prints the results.
+// Against a windowed server (momentsd -pane-width), -last restricts the
+// selection to the trailing N time panes and -step additionally slides a
+// width-N window across the retained ring, one result row per position.
 //
 //	msketch query -server http://localhost:7607 -key us.web -q 0.5,0.99
 //	msketch query -server http://localhost:7607 -prefix us. -groupby 1 -q 0.99
+//	msketch query -server http://localhost:7607 -key us.web -last 60 -q 0.99
+//	msketch query -server http://localhost:7607 -key us.web -last 60 -step 10 -q 0.99
 //	msketch query -server http://localhost:7607 -batch < request.json
+//
+// windows runs the sliding-window alert scan (POST /v1/windows): which
+// width-pane windows breached "φ-quantile > t", slid by turnstile pane
+// subtraction on the server:
+//
+//	msketch windows -server http://localhost:7607 -prefix us. -width 60 -t 100 -phi 0.99
 package main
 
 import (
@@ -49,6 +60,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "windows":
+		err = cmdWindows(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	default:
@@ -62,14 +75,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: msketch <build|merge|query|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: msketch <build|merge|query|windows|info> [flags]
 
   build -k K -o OUT [-bits N]   build a sketch from stdin values (one per line)
   merge -o OUT FILE...          merge sketch files
   query -q PHI[,PHI...] FILE    estimate quantiles from a sketch file
   query -server URL [-key K | -prefix P [-groupby N]] [-q PHI,...] [-t T -phi PHI]
-                                query a running momentsd via POST /v1/query
+        [-last N [-step N]]     query a running momentsd via POST /v1/query;
+                                -last/-step select time windows on a windowed server
   query -server URL -batch      forward a raw /v1/query body from stdin
+  windows -server URL [-key K | -prefix P] -width N -t T [-phi PHI]
+                                sliding-window alert scan via POST /v1/windows
   info FILE                     print sketch statistics`)
 }
 
@@ -171,12 +187,17 @@ func cmdQuery(args []string) error {
 	groupby := fs.Int("groupby", -1, "server mode: group a prefix rollup by this key-segment index")
 	tFlag := fs.String("t", "", "server mode: also ask whether the -phi quantile exceeds this threshold")
 	phiFlag := fs.Float64("phi", query.DefaultThresholdPhi, "server mode: quantile fraction for -t")
+	last := fs.Int("last", 0, "server mode: select only the trailing N time panes (windowed servers)")
+	step := fs.Int("step", 0, "server mode: slide a width -last window by this many panes per position")
 	batch := fs.Bool("batch", false, "server mode: forward a raw /v1/query JSON body from stdin")
 	timeout := fs.Duration("timeout", 30*time.Second, "server mode: request timeout")
 	fs.Parse(args)
 
 	if *server != "" {
-		return serverQuery(fs, *server, *qs, *key, *prefix, *groupby, *tFlag, *phiFlag, *batch, *timeout)
+		return serverQuery(fs, *server, *qs, *key, *prefix, *groupby, *tFlag, *phiFlag, *last, *step, *batch, *timeout)
+	}
+	if *last > 0 || *step > 0 {
+		return fmt.Errorf("query: -last/-step need -server (time panes live in momentsd, not sketch files)")
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("query: need exactly one sketch file (or -server URL)")
@@ -213,7 +234,7 @@ func parsePhiList(qs string) ([]float64, error) {
 }
 
 // serverQuery drives a running momentsd through POST /v1/query.
-func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, tFlag string, phi float64, batch bool, timeout time.Duration) error {
+func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, tFlag string, phi float64, last, step int, batch bool, timeout time.Duration) error {
 	client := &http.Client{Timeout: timeout}
 	url := strings.TrimSuffix(server, "/") + "/v1/query"
 
@@ -250,6 +271,12 @@ func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, 
 			g := groupby
 			sq.Select.GroupBy = &g
 		}
+	}
+	if last > 0 || step > 0 {
+		if groupby >= 0 {
+			return fmt.Errorf("query: -last/-step cannot combine with -groupby")
+		}
+		sq.Select.Window = &query.WindowSpec{Last: last, Step: step}
 	}
 	phis, err := parsePhiList(qs)
 	if err != nil {
@@ -301,9 +328,13 @@ func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, 
 		scope := key
 		if key == "" {
 			scope = prefix + "*"
-			if g.Group != "" {
+			if g.Group != "" && g.Window == nil {
 				scope = fmt.Sprintf("%s* [%s]", prefix, g.Group)
 			}
+		}
+		if g.Window != nil {
+			scope = fmt.Sprintf("%s  %s … %s (%d panes)", scope,
+				fmtUnix(g.Window.StartUnix), fmtUnix(g.Window.EndUnix), g.Window.Panes)
 		}
 		fmt.Printf("%s  (%d keys, %.0f observations)\n", scope, g.Keys, g.Count)
 		for _, agg := range g.Aggregations {
@@ -328,6 +359,99 @@ func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, 
 				fmt.Printf("  p%g > %g: %v  (resolved by %s)\n", th.Phi*100, th.T, th.Above, th.Stage)
 			}
 		}
+	}
+	return nil
+}
+
+// fmtUnix renders fractional unix seconds as local wall-clock time.
+func fmtUnix(ts float64) string {
+	return time.Unix(0, int64(ts*float64(time.Second))).Format("15:04:05")
+}
+
+// cmdWindows drives the sliding-window alert scan (POST /v1/windows) of a
+// windowed momentsd: report every width-pane window whose φ-quantile
+// exceeds t.
+func cmdWindows(args []string) error {
+	fs := flag.NewFlagSet("windows", flag.ExitOnError)
+	server := fs.String("server", "", "momentsd base URL (required)")
+	key := fs.String("key", "", "exact key to scan")
+	prefix := fs.String("prefix", "", "key prefix to roll up pane-wise and scan")
+	width := fs.Int("width", 0, "window width in panes (required)")
+	tFlag := fs.Float64("t", 0, "threshold the -phi quantile is tested against (required)")
+	phi := fs.Float64("phi", query.DefaultThresholdPhi, "quantile fraction")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	fs.Parse(args)
+	if *server == "" {
+		return fmt.Errorf("windows: -server is required")
+	}
+	if *width < 1 {
+		return fmt.Errorf("windows: -width must be at least 1 pane")
+	}
+	if !flagSet(fs, "t") {
+		return fmt.Errorf("windows: -t is required")
+	}
+	if (*key == "") == (*prefix == "" && !flagSet(fs, "prefix")) {
+		return fmt.Errorf("windows: need exactly one of -key and -prefix")
+	}
+
+	req := map[string]any{"width": *width, "t": *tFlag, "phi": *phi}
+	if *key != "" {
+		req["key"] = *key
+	} else {
+		req["prefix"] = *prefix
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(strings.TrimSuffix(*server, "/")+"/v1/windows", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error *query.Error `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error != nil {
+			return fmt.Errorf("windows: %s", envelope.Error.Error())
+		}
+		return fmt.Errorf("windows: server returned %s", resp.Status)
+	}
+	var out struct {
+		PaneWidthSeconds float64 `json:"pane_width_seconds"`
+		Panes            int     `json:"panes"`
+		Windows          int     `json:"windows"`
+		Keys             int     `json:"keys"`
+		Hot              []struct {
+			Index     int     `json:"index"`
+			StartUnix float64 `json:"start_unix"`
+			EndUnix   float64 `json:"end_unix"`
+		} `json:"hot"`
+		MergeNS int64 `json:"merge_ns"`
+		EstNS   int64 `json:"est_ns"`
+		Cascade struct {
+			Queries  int            `json:"queries"`
+			Resolved map[string]int `json:"resolved"`
+		} `json:"cascade"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("windows: decoding response: %v", err)
+	}
+	fmt.Printf("scanned %d windows of %d×%s panes over %d keys (merge %s, estimate %s)\n",
+		out.Windows, *width, time.Duration(out.PaneWidthSeconds*float64(time.Second)), out.Keys,
+		time.Duration(out.MergeNS).Round(time.Microsecond), time.Duration(out.EstNS).Round(time.Microsecond))
+	fmt.Printf("cascade: %d queries, resolved Simple=%d Markov=%d RTT=%d MaxEnt=%d\n",
+		out.Cascade.Queries, out.Cascade.Resolved["Simple"], out.Cascade.Resolved["Markov"],
+		out.Cascade.Resolved["RTT"], out.Cascade.Resolved["MaxEnt"])
+	if len(out.Hot) == 0 {
+		fmt.Printf("no windows with p%g > %g\n", *phi*100, *tFlag)
+		return nil
+	}
+	fmt.Printf("p%g > %g in %d windows:\n", *phi*100, *tFlag, len(out.Hot))
+	for _, h := range out.Hot {
+		fmt.Printf("  ALERT window %3d  %s … %s\n", h.Index, fmtUnix(h.StartUnix), fmtUnix(h.EndUnix))
 	}
 	return nil
 }

@@ -1,88 +1,220 @@
-// Monitoring: MacroBase-style anomaly search (paper §7.2.1). Given one
-// pre-aggregated sketch per (service, region) subgroup, find every subgroup
-// whose outlier rate is at least 30x the global rate — equivalently, whose
-// 70th percentile exceeds the global 99th percentile. Threshold predicates
-// resolve through the moment-bound cascade, so almost no subgroup needs a
-// full maximum-entropy solve.
+// Monitoring: the paper's anomaly-monitoring workloads (§7.2) against a
+// live serving stack. The example boots a real momentsd-style HTTP server
+// backed by a windowed shard store (5-minute panes, 4 hours retained),
+// streams four hours of timestamped latency observations into it over
+// POST /ingest, then drives the monitoring queries a dashboard would:
+//
+//  1. POST /v1/query with a window selection for the fleet-wide p99 over
+//     the whole retained ring (answered from the rolling turnstile
+//     sketch).
+//  2. One batched /v1/query carrying a trailing-hour threshold subquery
+//     per (service, region) subgroup — MacroBase-style outlier search
+//     (§7.2.1), resolved through the moment-bound cascade.
+//  3. POST /v1/windows on the flagged subgroup — the §7.2.2 sliding-window
+//     alert scan, slid by turnstile pane subtraction — to localize when
+//     the incident started.
+//
+// "checkout.eu" is broken: a slow dependency pushes most of its
+// (low-volume) traffic to ~40x baseline latency during the last 70
+// minutes. Low traffic share with high outlier contribution is exactly the
+// needle these queries exist to find.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"time"
 
-	"repro/moments"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+const (
+	paneWidth = 5 * time.Minute
+	panes     = 48 // 4 hours
 )
 
 func main() {
-	rng := rand.New(rand.NewPCG(3, 5))
+	store := shard.New(shard.WithWindow(paneWidth, panes))
+	srv := httptest.NewServer(server.New(store))
+	defer srv.Close()
+	fmt.Printf("momentsd serving at %s (5m panes, 4h retained)\n\n", srv.URL)
 
-	services := []string{"auth", "search", "checkout", "feed", "media", "push"}
-	regions := []string{"us-east", "us-west", "eu", "apac"}
+	ingest(srv.URL)
 
-	// Pre-aggregate latency sketches per subgroup. "checkout/eu" is broken:
-	// most of its (low-volume) traffic hits a slow dependency. A 30x rate
-	// multiplier can only be met by subgroups whose traffic share is small
-	// relative to their outlier contribution, which is exactly the
-	// needle-in-a-haystack case these queries exist for.
-	type group struct {
-		name   string
-		sketch *moments.Sketch
+	// 1. Fleet-wide p99 across the whole retained window: an empty-prefix
+	// selection with an empty window spec reads every key's rolling
+	// retained sketch — O(keys) merges, no pane re-merge, no raw data.
+	global := runQuery(srv.URL, query.Request{Queries: []query.Subquery{{
+		ID:           "global",
+		Select:       query.Selection{Prefix: ptr(""), Window: &query.WindowSpec{}},
+		Aggregations: []query.Aggregation{{Op: query.OpQuantiles, Phis: []float64{0.99}}, {Op: query.OpStats}},
+	}}})
+	g := global.Results[0].Groups[0]
+	p99 := g.Aggregations[0].Quantiles[0].Value
+	fmt.Printf("fleet p99 over the retained 4h: %.1f ms (%d keys, %.0f requests)\n\n",
+		p99, g.Keys, g.Count)
+
+	// 2. MacroBase-style subgroup search, one batch: for every
+	// (service, region), "did the trailing hour's p70 exceed the fleet
+	// p99?" — i.e. an outlier rate >= 30x the global 1% rate. The cascade
+	// settles almost every subgroup from moment bounds without a solve.
+	keysResp := struct{ Keys []string }{}
+	getJSON(srv.URL+"/keys", &keysResp)
+	req := query.Request{}
+	for _, key := range keysResp.Keys {
+		req.Queries = append(req.Queries, query.Subquery{
+			ID:     key,
+			Select: query.Selection{Key: key, Window: &query.WindowSpec{Last: 12}}, // trailing hour
+			Aggregations: []query.Aggregation{
+				{Op: query.OpThreshold, T: &p99, Phi: ptrF(0.70)},
+			},
+		})
 	}
-	var groups []group
-	global := moments.New()
-	for _, svc := range services {
-		for _, reg := range regions {
-			s := moments.New()
-			broken := svc == "checkout" && reg == "eu"
-			n := 200_000
-			if broken {
-				n = 20_000 // low-traffic region
-			}
-			for i := 0; i < n; i++ {
-				v := 10 + rng.ExpFloat64()*15
-				if broken && rng.Float64() < 0.6 {
-					v = 400 + rng.ExpFloat64()*100
-				}
-				s.Add(v)
-			}
-			groups = append(groups, group{svc + "/" + reg, s})
-			if err := global.Merge(s); err != nil {
-				panic(err)
-			}
-		}
-	}
-
-	// Global outlier threshold: the 99th percentile across all traffic.
-	t99, err := global.Quantile(0.99)
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("global p99 latency: %.1f ms over %.0f requests\n", t99, global.Count())
-
-	// Subgroups whose outlier rate >= 30x the global 1% rate, i.e. whose
-	// p70 exceeds t99.
-	const subPhi = 0.70
 	start := time.Now()
-	var flagged []string
-	for _, g := range groups {
-		hot, err := g.sketch.Threshold(t99, subPhi)
-		if err != nil {
-			// Near-discrete subgroup: fall back to guaranteed bounds.
-			lo, _ := g.sketch.RankBounds(t99)
-			hot = lo < subPhi
-		}
-		if hot {
-			flagged = append(flagged, g.name)
-		}
-	}
+	scan := runQuery(srv.URL, req)
 	elapsed := time.Since(start)
 
-	fmt.Printf("scanned %d subgroups in %s\n", len(groups), elapsed.Round(time.Microsecond))
-	for _, name := range flagged {
-		fmt.Printf("  ALERT: %s outlier rate >= 30x global\n", name)
+	var flagged []string
+	for _, res := range scan.Results {
+		if res.Error != nil {
+			continue // e.g. a subgroup with no traffic in the last hour
+		}
+		th := res.Groups[0].Aggregations[0].Threshold
+		if th.Above {
+			flagged = append(flagged, fmt.Sprintf("%s (resolved by %s)", res.ID, th.Stage))
+		}
+	}
+	fmt.Printf("scanned %d subgroups' trailing hour in one /v1/query batch (%s):\n",
+		len(scan.Results), elapsed.Round(time.Millisecond))
+	for _, f := range flagged {
+		fmt.Printf("  ALERT: %s outlier rate >= 30x fleet\n", f)
 	}
 	if len(flagged) == 0 {
 		fmt.Println("  no anomalous subgroups")
 	}
+
+	// 3. Localize the incident: slide a 1-hour window pane by pane across
+	// checkout.eu's retained ring on the server (turnstile Sub/Merge per
+	// slide) and report which window positions breached.
+	var windows struct {
+		Windows int `json:"windows"`
+		Hot     []struct {
+			Index     int     `json:"index"`
+			StartUnix float64 `json:"start_unix"`
+		} `json:"hot"`
+		MergeNS int64 `json:"merge_ns"`
+		EstNS   int64 `json:"est_ns"`
+		Cascade struct {
+			Resolved map[string]int `json:"resolved"`
+		} `json:"cascade"`
+	}
+	postJSON(srv.URL+"/v1/windows", map[string]any{
+		"key": "checkout.eu", "width": 12, "t": p99, "phi": 0.70,
+	}, &windows)
+	fmt.Printf("\n/v1/windows scan of checkout.eu: %d hot of %d hourly windows "+
+		"(merge %s, estimate %s, cascade %v)\n",
+		len(windows.Hot), windows.Windows,
+		time.Duration(windows.MergeNS).Round(time.Microsecond),
+		time.Duration(windows.EstNS).Round(time.Microsecond),
+		windows.Cascade.Resolved)
+	if len(windows.Hot) > 0 {
+		first := windows.Hot[0]
+		fmt.Printf("  incident window first breaches at %s (window %d)\n",
+			time.Unix(int64(first.StartUnix), 0).Format("15:04"), first.Index)
+	}
 }
+
+// ingest streams 4h of per-subgroup latencies with explicit ts stamps as
+// NDJSON — the same wire format a collector agent would POST.
+func ingest(url string) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	services := []string{"auth", "search", "checkout", "feed", "media", "push"}
+	regions := []string{"us-east", "us-west", "eu", "apac"}
+	// Align the synthetic stream to the store's absolute pane grid so each
+	// generated pane maps onto exactly one stored pane and nothing falls
+	// off the back of the retained ring.
+	now := time.Now().Truncate(paneWidth)
+	total := 0
+
+	var sb strings.Builder
+	for p := 0; p < panes; p++ {
+		// The newest synthetic pane is the current one, so all 48 panes sit
+		// inside the retained ring and every ingested observation is
+		// queryable.
+		paneStart := now.Add(-time.Duration(panes-1-p) * paneWidth)
+		incident := p >= panes-14 // last ~70 minutes
+		for _, svc := range services {
+			for _, reg := range regions {
+				n := 400
+				broken := incident && svc == "checkout" && reg == "eu"
+				if svc == "checkout" && reg == "eu" {
+					n = 40 // low-traffic subgroup
+				}
+				for i := 0; i < n; i++ {
+					v := 10 + rng.ExpFloat64()*15
+					if broken && rng.Float64() < 0.6 {
+						v = 400 + rng.ExpFloat64()*100
+					}
+					ts := float64(paneStart.Unix()) + rng.Float64()*paneWidth.Seconds()
+					fmt.Fprintf(&sb, `{"key":"%s.%s","value":%.3f,"ts":%.3f}`+"\n", svc, reg, v, ts)
+					total++
+				}
+			}
+		}
+	}
+	resp, err := http.Post(url+"/ingest", "application/x-ndjson", strings.NewReader(sb.String()))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic("ingest failed: " + resp.Status)
+	}
+	fmt.Printf("ingested %d observations across %d subgroups × %d panes\n\n",
+		total, len(services)*len(regions), panes)
+}
+
+func runQuery(url string, req query.Request) *query.Response {
+	var out query.Response
+	postJSON(url+"/v1/query", req, &out)
+	return &out
+}
+
+func postJSON(url string, body, out any) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(url + " returned " + resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}
+
+func ptr(s string) *string    { return &s }
+func ptrF(f float64) *float64 { return &f }

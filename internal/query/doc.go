@@ -11,6 +11,14 @@
 // thousands of quantile aggregations over high-cardinality subgroups in one
 // round trip.
 //
+// On stores with time panes, a Selection may additionally carry a Window
+// (§7.2.2): a trailing-pane window, an explicit [start, end) wall-clock
+// range, or a set of sliding positions (last + step), each position one
+// result group. Sliding positions are evaluated with turnstile Sub/Merge
+// slides and each position's maximum-entropy density is memoized like any
+// other rollup's, so a threshold scan over W positions costs O(W·step·k)
+// vector work plus only the solves the cascade cannot avoid.
+//
 // The Engine plans before it executes:
 //
 //   - Every subquery is validated up front, so malformed input fails before

@@ -84,6 +84,7 @@ type task struct {
 // goroutine that owns its selection, so the lazy fields need no lock.
 type group struct {
 	label  string
+	window *WindowRange // wall-clock span, window selections only
 	keys   int
 	sk     *core.Sketch
 	solved bool
@@ -170,17 +171,31 @@ func (e *Engine) Execute(ctx context.Context, req *Request) (*Response, *Error) 
 	return &Response{Results: results}, nil
 }
 
-// selectionKey canonicalizes a selection for deduplication. The NUL
-// separators cannot collide with key bytes that matter: a key and a prefix
-// with equal text are still distinct selections.
+// selectionKey canonicalizes a selection for deduplication. Every
+// variable-length attacker-controlled component (key, prefix) sits at the
+// tail, after all fixed-alphabet discriminators, so no crafted key bytes
+// can make two distinct selections collide: the first byte separates the
+// selection classes, and the window spec — digits and punctuation only —
+// is NUL-terminated before the base selector begins.
 func selectionKey(sel *Selection) string {
-	if sel.Key != "" {
-		return "k\x00" + sel.Key
+	var base string
+	switch {
+	case sel.Key != "":
+		base = "k\x00" + sel.Key
+	case sel.GroupBy != nil:
+		base = "g\x00" + strconv.Itoa(*sel.GroupBy) + "\x00" + *sel.Prefix
+	default:
+		base = "p\x00" + *sel.Prefix
 	}
-	if sel.GroupBy != nil {
-		return "g\x00" + strconv.Itoa(*sel.GroupBy) + "\x00" + *sel.Prefix
+	if w := sel.Window; w != nil {
+		spec := strconv.Itoa(w.Last) + "," + strconv.Itoa(w.Step)
+		if w.StartUnix != nil {
+			spec += "," + strconv.FormatFloat(*w.StartUnix, 'g', -1, 64) +
+				"," + strconv.FormatFloat(*w.EndUnix, 'g', -1, 64)
+		}
+		return "w" + spec + "\x00" + base
 	}
-	return "p\x00" + *sel.Prefix
+	return base
 }
 
 func (e *Engine) runTask(ctx context.Context, t *task, req *Request, results []Result) {
@@ -211,6 +226,9 @@ func ctxError(err error) *Error {
 // sketch for key and prefix selections, one per distinct segment value for
 // group_by selections.
 func (e *Engine) resolveSelection(ctx context.Context, sel *Selection) ([]*group, *Error) {
+	if sel.Window != nil {
+		return e.resolveWindow(ctx, sel)
+	}
 	switch {
 	case sel.Key != "":
 		sk, ok := e.store.Sketch(sel.Key)
@@ -253,6 +271,7 @@ func (e *Engine) evalSubquery(groups []*group, sq *Subquery) []GroupResult {
 		}
 		out[gi] = GroupResult{
 			Group:        g.label,
+			Window:       g.window,
 			Keys:         g.keys,
 			Count:        g.sk.Count,
 			Aggregations: aggs,

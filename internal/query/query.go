@@ -17,6 +17,10 @@ const (
 	MaxPoints = 256
 	// MaxHistogramBuckets bounds one histogram aggregation's bucket count.
 	MaxHistogramBuckets = 4096
+	// MaxWindows bounds the sliding-window positions one window selection
+	// may expand to (each position is one rollup with its own lazily
+	// memoized solve).
+	MaxWindows = 1024
 )
 
 // DefaultPhis are the quantile fractions reported when a quantiles
@@ -104,8 +108,52 @@ type Selection struct {
 	Prefix *string `json:"prefix,omitempty"`
 	// GroupBy partitions a prefix selection into one rollup per distinct
 	// value of the given separator-delimited key segment (0-based). Only
-	// valid together with Prefix.
+	// valid together with Prefix, and not combinable with Window.
 	GroupBy *int `json:"group_by,omitempty"`
+	// Window restricts the selection to time panes (§7.2.2): instead of the
+	// all-time sketch, the rollup covers the retained pane ring — a single
+	// trailing window, an explicit [start, end) range, or a set of sliding
+	// window positions. Requires a store built with time panes.
+	Window *WindowSpec `json:"window,omitempty"`
+}
+
+// WindowSpec selects which time window(s) of the retained pane ring a
+// subquery aggregates over. All widths are in panes (the store's configured
+// pane width × count); times are unix seconds so the spec round-trips
+// through JSON without timezone ambiguity.
+//
+// The pane universe is the explicit [StartUnix, EndUnix) range when given
+// (clipped to the retained ring), otherwise the whole retained ring. Within
+// it:
+//
+//   - Last == 0, Step == 0: one window covering the whole universe. With no
+//     explicit range this is answered from the rolling turnstile-maintained
+//     retained sketch in O(k), not a pane re-merge.
+//   - Last > 0, Step == 0: one trailing window of the last `Last` panes.
+//   - Last > 0, Step > 0: sliding windows of width Last starting at the
+//     universe's oldest pane, advancing Step panes per position — evaluated
+//     with turnstile Sub/Merge slides, one result group per position.
+type WindowSpec struct {
+	// Last is the window width in panes (0 = the whole selected range).
+	Last int `json:"last,omitempty"`
+	// Step slides the window by this many panes per position (0 = a single
+	// window). Step > 0 requires Last > 0.
+	Step int `json:"step,omitempty"`
+	// StartUnix/EndUnix bound the pane universe to the wall-clock range
+	// [StartUnix, EndUnix), in (possibly fractional) unix seconds. Set both
+	// or neither.
+	StartUnix *float64 `json:"start_unix,omitempty"`
+	EndUnix   *float64 `json:"end_unix,omitempty"`
+}
+
+// WindowRange reports the wall-clock span one result group covers.
+type WindowRange struct {
+	// StartUnix/EndUnix bound the window, [StartUnix, EndUnix), in unix
+	// seconds.
+	StartUnix float64 `json:"start_unix"`
+	EndUnix   float64 `json:"end_unix"`
+	// Panes is the window width in panes.
+	Panes int `json:"panes"`
 }
 
 // Aggregation is one typed aggregation operator. Op selects the operator;
@@ -144,8 +192,13 @@ type Result struct {
 
 // GroupResult is one rollup's aggregation results.
 type GroupResult struct {
-	// Group is the grouped segment value (empty for key/prefix selections).
+	// Group is the grouped segment value for group_by selections, or the
+	// window's RFC 3339 start instant for window selections (empty for
+	// timeless key/prefix selections).
 	Group string `json:"group,omitempty"`
+	// Window is the wall-clock span this group covers; only set for window
+	// selections.
+	Window *WindowRange `json:"window,omitempty"`
 	// Keys counts the per-key sketches merged into this rollup.
 	Keys int `json:"keys"`
 	// Count is the number of observations in the rollup.
@@ -256,6 +309,32 @@ func (sel *Selection) validate() *Error {
 		}
 		if *sel.GroupBy < 0 {
 			return Errorf(CodeInvalid, "select: group_by must be a non-negative key-segment index")
+		}
+		if sel.Window != nil {
+			return Errorf(CodeInvalid, "select: window and group_by are mutually exclusive")
+		}
+	}
+	if w := sel.Window; w != nil {
+		if w.Last < 0 {
+			return Errorf(CodeInvalid, "select: window.last must be non-negative")
+		}
+		if w.Step < 0 {
+			return Errorf(CodeInvalid, "select: window.step must be non-negative")
+		}
+		if w.Step > 0 && w.Last == 0 {
+			return Errorf(CodeInvalid, "select: window.step requires window.last (the sliding width)")
+		}
+		if (w.StartUnix == nil) != (w.EndUnix == nil) {
+			return Errorf(CodeInvalid, "select: window.start_unix and window.end_unix go together")
+		}
+		if w.StartUnix != nil {
+			if math.IsNaN(*w.StartUnix) || math.IsNaN(*w.EndUnix) ||
+				math.IsInf(*w.StartUnix, 0) || math.IsInf(*w.EndUnix, 0) {
+				return Errorf(CodeInvalid, "select: window range must be finite")
+			}
+			if *w.StartUnix >= *w.EndUnix {
+				return Errorf(CodeInvalid, "select: window.start_unix must precede window.end_unix")
+			}
 		}
 	}
 	return nil

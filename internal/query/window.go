@@ -1,0 +1,253 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/window"
+)
+
+// resolveWindow materializes the rollup(s) of a window selection: one group
+// per window position over the key's (or prefix rollup's) retained pane
+// ring. Single windows are merged directly; sliding windows are evaluated
+// with turnstile Sub/Merge slides (§7.2.2) so each position past the first
+// costs 2·Step O(k) vector operations, not a Last-pane re-merge. The
+// whole-ring case skips panes entirely and reads the store's rolling
+// retained sketch.
+func (e *Engine) resolveWindow(ctx context.Context, sel *Selection) ([]*group, *Error) {
+	w := sel.Window
+
+	// Whole retained ring, single window: answered from the rolling
+	// turnstile-maintained retained sketch, O(k) per key instead of
+	// O(k × retention).
+	if w.Last == 0 && w.StartUnix == nil {
+		return e.resolveRetained(ctx, sel)
+	}
+
+	paneWidth, retention, enabled := e.store.WindowConfig()
+	if !enabled {
+		return nil, windowError(ctx, sel, shard.ErrNoWindow)
+	}
+
+	// The pane universe [ulo, uhi) in absolute pane indices: the retained
+	// ring, clipped to the requested wall-clock range (a pane belongs if
+	// it overlaps [StartUnix, EndUnix)).
+	cur, _ := e.store.CurrentPane()
+	ulo, uhi := cur-int64(retention)+1, cur+1
+	if w.StartUnix != nil {
+		widthSec := paneWidth.Seconds()
+		if p := int64(math.Floor(*w.StartUnix / widthSec)); p > ulo {
+			ulo = p
+		}
+		if p := int64(math.Ceil(*w.EndUnix / widthSec)); p < uhi {
+			uhi = p
+		}
+		if ulo >= uhi {
+			return nil, Errorf(CodeNotFound, "window range [%v, %v) covers no retained panes", *w.StartUnix, *w.EndUnix)
+		}
+	}
+
+	// Window width in panes, clamped to the universe so "last 100 panes"
+	// over a 50-pane ring degrades to the whole ring.
+	width := int64(w.Last)
+	if width == 0 || width > uhi-ulo {
+		width = uhi - ulo
+	}
+
+	if w.Step == 0 {
+		// Single (trailing or range-covering) window: fetch only its panes.
+		ps, qerr := e.paneSeries(ctx, sel, uhi-width, uhi)
+		if qerr != nil {
+			return nil, qerr
+		}
+		if len(ps.Panes) == 0 {
+			return nil, Errorf(CodeNotFound, "no data in the selected window")
+		}
+		g, err := mergeWindow(ps, 0, len(ps.Panes))
+		if err != nil {
+			return nil, Errorf(CodeInternal, "merging window: %v", err)
+		}
+		if g.sk.IsEmpty() {
+			return nil, Errorf(CodeNotFound, "no data in the selected window")
+		}
+		g.keys = ps.Keys
+		return []*group{g}, nil
+	}
+
+	positions := (uhi-ulo-width)/int64(w.Step) + 1
+	if positions > MaxWindows {
+		return nil, Errorf(CodeTooLarge, "window selection expands to %d positions (> %d); raise step or narrow the range", positions, MaxWindows)
+	}
+	ps, qerr := e.paneSeries(ctx, sel, ulo, uhi)
+	if qerr != nil {
+		return nil, qerr
+	}
+	if len(ps.Panes) < int(width) {
+		return nil, Errorf(CodeNotFound, "no data in the selected windows")
+	}
+	groups, err := slideWindows(ps, 0, len(ps.Panes), int(width), w.Step)
+	if err != nil {
+		return nil, Errorf(CodeInternal, "sliding window: %v", err)
+	}
+	for _, g := range groups {
+		g.keys = ps.Keys
+	}
+	if len(groups) == 0 {
+		return nil, Errorf(CodeNotFound, "no data in the selected windows")
+	}
+	return groups, nil
+}
+
+// paneSeries fetches the retained pane series over the absolute pane range
+// [start, end) behind a window selection, mapping shard errors onto the
+// query error envelope.
+func (e *Engine) paneSeries(ctx context.Context, sel *Selection, start, end int64) (*shard.PaneSeries, *Error) {
+	var ps *shard.PaneSeries
+	var err error
+	if sel.Key != "" {
+		ps, err = e.store.PanesRange(sel.Key, start, end)
+	} else {
+		ps, err = e.store.PanesRangePrefix(ctx, *sel.Prefix, start, end)
+	}
+	if err != nil {
+		return nil, windowError(ctx, sel, err)
+	}
+	return ps, nil
+}
+
+func windowError(ctx context.Context, sel *Selection, err error) *Error {
+	switch {
+	case errors.Is(err, shard.ErrNoWindow):
+		return Errorf(CodeInvalid, "store has no time panes; start the server with a pane width to enable window selections")
+	case errors.Is(err, shard.ErrNoKey):
+		if sel.Key != "" {
+			return Errorf(CodeNotFound, "no such key: %q", sel.Key)
+		}
+		return Errorf(CodeNotFound, "no keys with prefix %q", *sel.Prefix)
+	case ctx.Err() != nil:
+		return ctxError(ctx.Err())
+	}
+	return Errorf(CodeInternal, "%v", err)
+}
+
+// resolveRetained answers a whole-ring window from the rolling retained
+// sketch maintained by turnstile expiry.
+func (e *Engine) resolveRetained(ctx context.Context, sel *Selection) ([]*group, *Error) {
+	paneWidth, retention, enabled := e.store.WindowConfig()
+	if !enabled {
+		return nil, windowError(ctx, sel, shard.ErrNoWindow)
+	}
+	cur, _ := e.store.CurrentPane()
+	var sk *core.Sketch
+	keys := 0
+	var err error
+	if sel.Key != "" {
+		sk, err = e.store.Retained(sel.Key)
+		keys = 1
+	} else {
+		sk, keys, err = e.store.RetainedPrefix(ctx, *sel.Prefix)
+	}
+	if err != nil {
+		return nil, windowError(ctx, sel, err)
+	}
+	if keys == 0 {
+		return nil, windowError(ctx, sel, shard.ErrNoKey)
+	}
+	if sk.IsEmpty() {
+		return nil, Errorf(CodeNotFound, "no data in the retained window")
+	}
+	g := &group{keys: keys, sk: sk}
+	g.window, g.label = windowMeta(cur-int64(retention)+1, retention, paneWidth)
+	return []*group{g}, nil
+}
+
+// mergeWindow materializes one window [a, b) of the series as a group.
+func mergeWindow(ps *shard.PaneSeries, a, b int) (*group, error) {
+	sk := core.New(ps.Panes[0].K)
+	for _, p := range ps.Panes[a:b] {
+		if err := sk.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	g := &group{sk: sk}
+	g.window, g.label = windowMeta(ps.Start+int64(a), b-a, ps.Width)
+	return g, nil
+}
+
+// slideWindows evaluates every window position [a, a+width) for
+// a = lo, lo+step, … with turnstile slides: one full merge for the first
+// position, then Sub the expiring panes and Merge the arriving ones. Each
+// position's group gets an independent clone with its support re-tightened
+// to the live panes (Sub cannot shrink [Min, Max]). Empty positions are
+// skipped — a gap in the stream is not a quantile.
+func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, error) {
+	if step >= width {
+		// Disjoint (tumbling) windows share no panes: a turnstile slide
+		// would subtract panes that were never merged. Build each position
+		// directly.
+		var groups []*group
+		for a := lo; a+width <= hi; a += step {
+			g, err := mergeWindow(ps, a, a+width)
+			if err != nil {
+				return nil, err
+			}
+			if !g.sk.IsEmpty() {
+				groups = append(groups, g)
+			}
+		}
+		return groups, nil
+	}
+	cur := core.New(ps.Panes[0].K)
+	for _, p := range ps.Panes[lo : lo+width] {
+		if err := cur.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	var groups []*group
+	for a := lo; a+width <= hi; a += step {
+		// The live panes' exact range: used to tighten this position's
+		// clone, and — being a superset of the next position's surviving
+		// panes — as the sound post-Sub range (Sub cannot restore min/max;
+		// the next iteration's TightenRange re-narrows it).
+		winLo, winHi := window.PaneRange(ps.Panes[a : a+width])
+		if !cur.IsEmpty() {
+			sk := cur.Clone()
+			sk.TightenRange(winLo, winHi)
+			g := &group{sk: sk}
+			g.window, g.label = windowMeta(ps.Start+int64(a), width, ps.Width)
+			groups = append(groups, g)
+		}
+		if a+step+width > hi {
+			break
+		}
+		for _, p := range ps.Panes[a : a+step] {
+			if err := cur.Sub(p); err != nil {
+				return nil, err
+			}
+		}
+		cur.Min, cur.Max = winLo, winHi
+		for _, p := range ps.Panes[a+width : a+width+step] {
+			if err := cur.Merge(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return groups, nil
+}
+
+// windowMeta builds the wall-clock metadata of a window starting at
+// absolute pane `start`, `panes` panes wide.
+func windowMeta(start int64, panes int, paneWidth time.Duration) (*WindowRange, string) {
+	startT := time.Unix(0, start*int64(paneWidth))
+	endT := time.Unix(0, (start+int64(panes))*int64(paneWidth))
+	wr := &WindowRange{
+		StartUnix: float64(startT.UnixNano()) / float64(time.Second),
+		EndUnix:   float64(endT.UnixNano()) / float64(time.Second),
+		Panes:     panes,
+	}
+	return wr, startT.UTC().Format(time.RFC3339Nano)
+}

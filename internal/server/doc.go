@@ -2,12 +2,18 @@
 // HTTP — the serving path that turns the paper's merge-cheap summaries into
 // an interactive aggregation service.
 //
-//	POST /ingest     batch observation ingest (JSON body or NDJSON stream)
+//	POST /ingest     batch observation ingest (JSON body or NDJSON stream;
+//	                 observations may carry a "ts" unix-seconds stamp that
+//	                 selects the time pane on windowed stores)
 //	POST /v1/query   batched typed queries: any number of subqueries (key,
 //	                 prefix rollup, or group-by selection × quantiles, cdf,
 //	                 threshold, rank_bounds, histogram, stats aggregations),
 //	                 executed by the parallel internal/query engine with
-//	                 per-subquery error isolation
+//	                 per-subquery error isolation; selections may carry a
+//	                 window spec on windowed stores (§7.2.2)
+//	POST /v1/windows sliding-window alert scan over one key's (or prefix
+//	                 rollup's) retained pane ring, slid by turnstile pane
+//	                 subtraction via internal/window.ScanMoments
 //	GET  /keys       key listing by prefix
 //	GET  /snapshot   binary snapshot stream of the whole store
 //	POST /restore    replace store contents from a snapshot stream

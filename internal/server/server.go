@@ -92,6 +92,7 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/query", s.handleQueryV1)
+	s.mux.HandleFunc("POST /v1/windows", s.handleWindowsV1)
 	// Deprecated single-shot query endpoints, kept as adapters over the
 	// same engine; prefer POST /v1/query.
 	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
@@ -138,10 +139,13 @@ func writeQueryError(w http.ResponseWriter, err *query.Error) {
 
 // wireObservation is the ingest wire shape. Value is a pointer so a
 // missing or misspelled "value" field is an error rather than a silently
-// ingested zero.
+// ingested zero. TS is the optional observation instant in (possibly
+// fractional) unix seconds; absent means "now". On windowed stores it
+// selects the time pane the value lands in; timeless stores ignore it.
 type wireObservation struct {
 	Key   string   `json:"key"`
 	Value *float64 `json:"value"`
+	TS    *float64 `json:"ts,omitempty"`
 }
 
 func (o wireObservation) check() error {
@@ -157,7 +161,27 @@ func (o wireObservation) check() error {
 	if math.IsNaN(*o.Value) || math.IsInf(*o.Value, 0) {
 		return errors.New("value must be finite")
 	}
+	if o.TS != nil && !(*o.TS >= 0 && *o.TS <= maxIngestTS) {
+		return errors.New("ts must be a unix timestamp in seconds (is it in milliseconds?)")
+	}
 	return nil
+}
+
+// maxIngestTS bounds the accepted observation timestamp (9e9 s ≈ year
+// 2255, safely under math.MaxInt64 nanoseconds ≈ 9.22e9 s). A
+// millisecond- or microsecond-unit timestamp — the classic client bug —
+// lands far above it and is rejected with a hint, rather than overflowing
+// the nanosecond conversion in at() into a negative instant that every
+// pane silently drops. The comparison form also rejects NaN.
+const maxIngestTS = 9e9
+
+// at converts the optional wire timestamp; the zero time means "stamp at
+// flush".
+func (o wireObservation) at() time.Time {
+	if o.TS == nil {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(*o.TS*float64(time.Second)))
 }
 
 // ingestRequest is the enveloped JSON body shape; a bare array of
@@ -222,7 +246,7 @@ func decodeJSONBody(r io.Reader, batch *shard.Batch) error {
 		if err := o.check(); err != nil {
 			return fmt.Errorf("observation %d: %w", i, err)
 		}
-		batch.Add(o.Key, *o.Value)
+		batch.AddAt(o.Key, *o.Value, o.at())
 	}
 	return nil
 }
@@ -248,7 +272,7 @@ func decodeNDJSON(r io.Reader, batch *shard.Batch) error {
 		if err := o.check(); err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
-		batch.Add(o.Key, *o.Value)
+		batch.AddAt(o.Key, *o.Value, o.at())
 	}
 	return sc.Err()
 }

@@ -17,7 +17,20 @@
 // bytes of copying) and run the maximum-entropy solver or the threshold
 // cascade on the clone outside it.
 //
+// With WithWindow the store gains a time dimension (§7.2.2): each key
+// keeps, alongside its all-time sketch, a ring of fixed-width time panes
+// plus a rolling "retained" sketch equal to the sum of the live panes.
+// Ingest stamps each observation's pane; expiry is turnstile — the
+// expiring pane's power sums are subtracted from the rolling sketch (two
+// O(k) vector operations per pane transition, amortized O(1) per
+// observation). Windowed reads come in two shapes: Panes/PanesPrefix
+// return a dense, time-aligned clone series for arbitrary window math, and
+// Retained/RetainedPrefix read the rolling sketch in O(k) per key.
+//
 // The full store can be serialized to a length-prefixed snapshot stream
 // (see Snapshot/Restore) built on the binary sketch codec in
-// internal/encoding.
+// internal/encoding. Windowed stores write snapshot format v2, which
+// carries the pane configuration and each key's live panes; restore
+// re-expires against the wall clock and rebuilds each rolling sketch by
+// exact re-merge.
 package shard

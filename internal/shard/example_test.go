@@ -1,0 +1,51 @@
+package shard_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// ExampleStore_Panes shows the time dimension of a windowed store: a ring
+// of fixed-width panes per key, read back as a dense, time-aligned series.
+// The store clock is injected so the example is deterministic; production
+// stores default to time.Now.
+func ExampleStore_Panes() {
+	now := time.Unix(1_700_000_000, 0)
+	store := shard.New(
+		shard.WithShards(2),
+		shard.WithWindow(time.Minute, 4), // 4 one-minute panes per key
+		shard.WithClock(func() time.Time { return now }),
+	)
+
+	// Three requests two minutes ago, one in the current minute.
+	earlier := now.Add(-2 * time.Minute)
+	store.AddAt("us.web", 12.5, earlier)
+	store.AddAt("us.web", 40.0, earlier)
+	store.AddAt("us.web", 9.1, earlier)
+	store.AddAt("us.web", 22.0, now)
+
+	series, err := store.Panes("us.web")
+	if err != nil {
+		panic(err)
+	}
+	for i, pane := range series.Panes {
+		fmt.Printf("pane %d (%s): %.0f observations\n",
+			i, series.PaneStart(i).UTC().Format("15:04"), pane.Count)
+	}
+
+	// The rolling retained sketch — maintained by turnstile subtraction as
+	// panes expire — covers the whole ring in one O(k) read.
+	retained, err := store.Retained("us.web")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("retained: %.0f observations, max %.1f\n", retained.Count, retained.Max)
+	// Output:
+	// pane 0 (22:10): 0 observations
+	// pane 1 (22:11): 3 observations
+	// pane 2 (22:12): 0 observations
+	// pane 3 (22:13): 1 observations
+	// retained: 4 observations, max 40.0
+}

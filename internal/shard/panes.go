@@ -1,0 +1,435 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrNoWindow is returned by the pane accessors when the store was built
+// without WithWindow.
+var ErrNoWindow = errors.New("shard: store has no time panes (construct with WithWindow)")
+
+// MaxRetention bounds the number of panes a windowed store retains per key.
+// Each live pane is one ~200-byte sketch, so this caps per-key memory at a
+// few hundred KiB even for pathological configurations.
+const MaxRetention = 4096
+
+// paneSlot is one position of a key's pane ring. idx is the absolute pane
+// index the slot currently holds, or -1 when empty. Sketches are allocated
+// lazily on first use and Reset — not reallocated — on expiry, so a
+// steady-state ring never allocates.
+type paneSlot struct {
+	idx int64
+	sk  *core.Sketch
+}
+
+// paneRing is the per-key time dimension: a ring of fixed-width pane
+// sketches covering the trailing `retention` panes, plus a rolling
+// `retained` sketch equal to the sum of all live panes. The ring is
+// advanced with turnstile semantics (§7.2.2): when a pane expires, its
+// power sums are subtracted from `retained` — two O(k) vector operations
+// per pane transition instead of re-merging the whole window.
+//
+// Pane indices are absolute (unix nanoseconds / pane width), so rings from
+// different keys — and from snapshots — align without any per-ring epoch.
+// A ring is only ever touched under its stripe's lock.
+type paneRing struct {
+	slots    []paneSlot
+	retained *core.Sketch
+	// cur is the highest pane index the ring has advanced to; the live
+	// range is (cur-len(slots), cur]. -1 until the first observation.
+	cur int64
+}
+
+func newPaneRing(k, retention int) *paneRing {
+	r := &paneRing{
+		slots:    make([]paneSlot, retention),
+		retained: core.New(k),
+		cur:      -1,
+	}
+	for i := range r.slots {
+		r.slots[i].idx = -1
+	}
+	return r
+}
+
+// advance expires every pane that falls out of the live range when the ring
+// moves forward to pane p. Expiry is the turnstile subtraction: each
+// expiring pane's power sums are removed from the rolling retained sketch.
+// Cost is O(min(p-cur, retention)) pane transitions, independent of how
+// many observations the panes held.
+func (r *paneRing) advance(p int64) {
+	if p <= r.cur {
+		return
+	}
+	n := int64(len(r.slots))
+	if r.cur < 0 || p-r.cur >= n {
+		// Every live pane expires at once; skip the per-pane subtractions
+		// and start from a clean ring (also resets any accumulated
+		// floating-point drift in the retained sums).
+		for i := range r.slots {
+			if r.slots[i].idx >= 0 {
+				r.slots[i].sk.Reset()
+				r.slots[i].idx = -1
+			}
+		}
+		r.retained.Reset()
+		r.cur = p
+		return
+	}
+	for q := r.cur + 1; q <= p; q++ {
+		s := &r.slots[q%n]
+		if s.idx >= 0 {
+			// s holds pane q-retention, the one sliding out of the live
+			// range. Sub cannot fail here: retained's count is the exact
+			// integer-arithmetic sum of the live panes' counts.
+			_ = r.retained.Sub(s.sk)
+			s.sk.Reset()
+			s.idx = -1
+		}
+	}
+	r.cur = p
+}
+
+// observe records x into pane p, advancing the ring first. Out-of-range
+// observations (p older than the live range, or negative — a pre-1970
+// timestamp) update nothing here — the caller has already folded them into
+// the all-time sketch. Callers must clamp p to the clock's current pane:
+// the ring trusts p, and advancing on a data-supplied future timestamp
+// would expire live panes.
+func (r *paneRing) observe(p int64, x float64, k int) {
+	if p < 0 {
+		return
+	}
+	r.advance(p)
+	if p <= r.cur-int64(len(r.slots)) {
+		return // too old: outside the retained range
+	}
+	s := &r.slots[p%int64(len(r.slots))]
+	if s.sk == nil {
+		s.sk = core.New(k)
+	}
+	s.idx = p
+	s.sk.Add(x)
+	r.retained.Add(x)
+}
+
+// restorePane installs a decoded pane sketch during Restore. The ring must
+// have been advanced to the restore-time pane first so stale snapshot panes
+// are dropped rather than resurrected.
+func (r *paneRing) restorePane(p int64, sk *core.Sketch) {
+	if p > r.cur || p <= r.cur-int64(len(r.slots)) {
+		return
+	}
+	s := &r.slots[p%int64(len(r.slots))]
+	s.idx = p
+	s.sk = sk
+	_ = r.retained.Merge(sk)
+}
+
+// liveRange returns the tightest [lo, hi] covering every live pane's
+// values, for TightenRange after turnstile subtractions (Sub cannot shrink
+// the tracked support). Returns ±Inf when no live pane holds data.
+func (r *paneRing) liveRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range r.slots {
+		if r.slots[i].idx < 0 {
+			continue
+		}
+		if r.slots[i].sk.Min < lo {
+			lo = r.slots[i].sk.Min
+		}
+		if r.slots[i].sk.Max > hi {
+			hi = r.slots[i].sk.Max
+		}
+	}
+	return lo, hi
+}
+
+// retainedClone returns an independent copy of the rolling retained sketch
+// with its support re-tightened from the live panes.
+func (r *paneRing) retainedClone() *core.Sketch {
+	c := r.retained.Clone()
+	lo, hi := r.liveRange()
+	// Reset the stale post-Sub support before tightening: TightenRange
+	// only ever narrows, and Sub leaves the widest historical range.
+	c.Min, c.Max = math.Inf(1), math.Inf(-1)
+	if !math.IsInf(lo, 1) {
+		c.Min, c.Max = lo, hi
+	}
+	return c
+}
+
+// WindowConfig reports the store's pane configuration. enabled is false for
+// stores built without WithWindow.
+func (s *Store) WindowConfig() (paneWidth time.Duration, retention int, enabled bool) {
+	if s.paneWidth <= 0 {
+		return 0, 0, false
+	}
+	return time.Duration(s.paneWidth), s.retention, true
+}
+
+// paneIndex maps a wall-clock instant onto an absolute pane index.
+func (s *Store) paneIndex(t time.Time) int64 {
+	return t.UnixNano() / s.paneWidth
+}
+
+// nowPane returns the pane index of the store clock's current instant.
+func (s *Store) nowPane() int64 { return s.paneIndex(s.now()) }
+
+// CurrentPane returns the absolute index of the pane containing the store
+// clock's now. ok is false on stores without time panes.
+func (s *Store) CurrentPane() (int64, bool) {
+	if s.paneWidth <= 0 {
+		return 0, false
+	}
+	return s.nowPane(), true
+}
+
+// PaneSeries is a dense, time-aligned view of retained panes for one key
+// or one prefix rollup: Panes[i] covers [Start+i, Start+i+1) × Width of
+// wall-clock time, oldest first. Panes with no data are empty (non-nil)
+// sketches. All sketches are independent clones. The full-ring accessors
+// (Panes, PanesPrefix) return exactly the store's retention count of
+// panes, ending at the pane containing the store clock's now; the range
+// accessors return just the requested slice of the ring.
+type PaneSeries struct {
+	// Start is the absolute pane index of Panes[0] (unix time / Width).
+	Start int64
+	// Width is the store's pane width.
+	Width time.Duration
+	// Panes holds one sketch per pane of the series' range.
+	Panes []*core.Sketch
+	// Keys counts the per-key rings merged into the series (1 for a key
+	// series, the number of matched keys for a prefix series).
+	Keys int
+}
+
+// PaneStart returns the wall-clock start of Panes[i].
+func (ps *PaneSeries) PaneStart(i int) time.Time {
+	return time.Unix(0, (ps.Start+int64(i))*int64(ps.Width))
+}
+
+// ringRange returns the absolute pane range of the currently retained
+// ring, [now-retention+1, now+1).
+func (s *Store) ringRange() (start, end int64) {
+	now := s.nowPane()
+	return now - int64(s.retention) + 1, now + 1
+}
+
+// clipToRing clips an absolute pane range to the retained ring (an empty
+// result means the range and the ring do not overlap).
+func (s *Store) clipToRing(start, end int64) (int64, int64) {
+	lo, hi := s.ringRange()
+	if start < lo {
+		start = lo
+	}
+	if end > hi {
+		end = hi
+	}
+	return start, end
+}
+
+// emptySeries allocates a dense all-empty series over [start, end).
+func (s *Store) emptySeries(start, end int64) *PaneSeries {
+	n := end - start
+	if n < 0 {
+		n = 0
+	}
+	ps := &PaneSeries{
+		Start: start,
+		Width: time.Duration(s.paneWidth),
+		Panes: make([]*core.Sketch, n),
+	}
+	for i := range ps.Panes {
+		ps.Panes[i] = core.New(s.k)
+	}
+	return ps
+}
+
+// fill merges a ring's live panes into the series (the ring is advanced to
+// the series end first, expiring anything stale). Slots outside the series
+// are skipped: below Start when the ring had already advanced past the
+// series end, above the end when observations carried future timestamps
+// (clock skew) — those panes become visible once the clock catches up.
+// Must hold the stripe lock.
+func (ps *PaneSeries) fill(r *paneRing) {
+	if len(ps.Panes) == 0 {
+		return
+	}
+	end := ps.Start + int64(len(ps.Panes))
+	r.advance(end - 1)
+	for i := range r.slots {
+		if r.slots[i].idx < ps.Start || r.slots[i].idx >= end {
+			continue
+		}
+		_ = ps.Panes[r.slots[i].idx-ps.Start].Merge(r.slots[i].sk)
+	}
+}
+
+// Panes returns the dense retained pane series for key — the whole ring,
+// ending at the current pane. It returns ErrNoWindow on a store without
+// panes and ErrNoKey when the key is absent.
+func (s *Store) Panes(key string) (*PaneSeries, error) {
+	if s.paneWidth <= 0 {
+		return nil, ErrNoWindow
+	}
+	start, end := s.ringRange()
+	return s.PanesRange(key, start, end)
+}
+
+// PanesRange is Panes restricted to the absolute pane range [start, end),
+// clipped to the retained ring — a trailing-window read of n panes clones
+// and merges O(n) sketches instead of O(retention).
+func (s *Store) PanesRange(key string, start, end int64) (*PaneSeries, error) {
+	if s.paneWidth <= 0 {
+		return nil, ErrNoWindow
+	}
+	start, end = s.clipToRing(start, end)
+	// Cheap existence probe before allocating the dense series — a
+	// missing-key request must not cost retention sketch allocations. The
+	// key is re-checked under the second lock; losing it to a concurrent
+	// Delete in between is the same outcome as arriving slightly later.
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	_, ok := st.entries[key]
+	st.mu.Unlock()
+	if !ok {
+		return nil, ErrNoKey
+	}
+	ps := s.emptySeries(start, end)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		return nil, ErrNoKey
+	}
+	ps.fill(e.ring)
+	ps.Keys = 1
+	return ps, nil
+}
+
+// PanesPrefix returns the pane-wise rollup series across every key with the
+// given prefix — the whole ring, ending at the current pane: Panes[i] is
+// the merge of pane i over all matching keys, the time-indexed analogue of
+// MergePrefix. Within each stripe, keys merge in map order; pane merges
+// commute up to floating-point reassociation, and callers that need
+// determinism pin results through the oracle tests' tolerance rather than
+// bit equality.
+func (s *Store) PanesPrefix(ctx context.Context, prefix string) (*PaneSeries, error) {
+	if s.paneWidth <= 0 {
+		return nil, ErrNoWindow
+	}
+	start, end := s.ringRange()
+	return s.PanesRangePrefix(ctx, prefix, start, end)
+}
+
+// PanesRangePrefix is PanesPrefix restricted to the absolute pane range
+// [start, end), clipped to the retained ring.
+func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end int64) (*PaneSeries, error) {
+	if s.paneWidth <= 0 {
+		return nil, ErrNoWindow
+	}
+	start, end = s.clipToRing(start, end)
+	// Cheap existence probe (stops at the first match) before allocating
+	// the dense series, mirroring PanesRange: a request for a prefix
+	// matching nothing — attacker-reachable over HTTP — must not cost a
+	// retention-sized allocation, and allocating mid-sweep would hold a
+	// stripe lock across it.
+	found := false
+	for i := 0; i < len(s.stripes) && !found; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				found = true
+				break
+			}
+		}
+		st.mu.Unlock()
+	}
+	if !found {
+		return nil, ErrNoKey
+	}
+	ps := s.emptySeries(start, end)
+	for i := range s.stripes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k, e := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				ps.fill(e.ring)
+				ps.Keys++
+			}
+		}
+		st.mu.Unlock()
+	}
+	if ps.Keys == 0 {
+		return nil, ErrNoKey
+	}
+	return ps, nil
+}
+
+// Retained returns a clone of the rolling retained sketch for key — the sum
+// of every live pane, maintained incrementally by turnstile Sub on expiry,
+// so this is O(k) regardless of retention. Its support is re-tightened from
+// the live panes before returning.
+func (s *Store) Retained(key string) (*core.Sketch, error) {
+	if s.paneWidth <= 0 {
+		return nil, ErrNoWindow
+	}
+	now := s.nowPane()
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		return nil, ErrNoKey
+	}
+	e.ring.advance(now)
+	return e.ring.retainedClone(), nil
+}
+
+// RetainedPrefix merges the rolling retained sketches of every key with the
+// given prefix — the windowed analogue of MergePrefixContext, costing one
+// O(k) merge per matched key rather than one per (key × pane). It returns
+// the merged sketch and the number of keys merged.
+func (s *Store) RetainedPrefix(ctx context.Context, prefix string) (*core.Sketch, int, error) {
+	if s.paneWidth <= 0 {
+		return nil, 0, ErrNoWindow
+	}
+	now := s.nowPane()
+	out := core.New(s.k)
+	out.Min, out.Max = math.Inf(1), math.Inf(-1)
+	keys := 0
+	for i := range s.stripes {
+		if err := ctx.Err(); err != nil {
+			return nil, keys, err
+		}
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for k, e := range st.entries {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			e.ring.advance(now)
+			if err := out.Merge(e.ring.retainedClone()); err != nil {
+				st.mu.Unlock()
+				return nil, keys, err
+			}
+			keys++
+		}
+		st.mu.Unlock()
+	}
+	return out, keys, nil
+}

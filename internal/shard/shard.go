@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/cascade"
@@ -22,10 +23,21 @@ import (
 // ErrNoKey is returned when a queried key has no sketch.
 var ErrNoKey = errors.New("shard: no such key")
 
-// Observation is one keyed sample.
+// Observation is one keyed sample. At is the observation's wall-clock
+// instant, used to stamp time panes on windowed stores; the zero time means
+// "when the batch flushes". Stores without panes ignore it.
 type Observation struct {
-	Key   string  `json:"key"`
-	Value float64 `json:"value"`
+	Key   string    `json:"key"`
+	Value float64   `json:"value"`
+	At    time.Time `json:"at,omitzero"`
+}
+
+// entry is the per-key state: the all-time sketch every timeless query
+// reads, plus — on windowed stores — the ring of time panes behind the
+// windowed queries. ring is nil when the store has no panes.
+type entry struct {
+	all  *core.Sketch
+	ring *paneRing
 }
 
 // stripe is one lock-striped partition of the key space. The padding keeps
@@ -33,7 +45,7 @@ type Observation struct {
 // neighbouring shards do not false-share.
 type stripe struct {
 	mu      sync.Mutex
-	entries map[string]*core.Sketch
+	entries map[string]*entry
 	count   float64  // observations ingested into this stripe
 	_       [40]byte // mutex(8) + map(8) + count(8) + 40 = one 64-byte line
 }
@@ -41,19 +53,25 @@ type stripe struct {
 // Store is a sharded map from string keys to moments sketches. All methods
 // are safe for concurrent use.
 type Store struct {
-	k       int
-	mask    uint64
-	stripes []stripe
-	solver  maxent.Options
+	k         int
+	mask      uint64
+	stripes   []stripe
+	solver    maxent.Options
+	paneWidth int64 // pane width in nanoseconds; 0 = no time panes
+	retention int   // live panes per key when paneWidth > 0
+	now       func() time.Time
 }
 
 // Option configures a Store at construction.
 type Option func(*storeConfig)
 
 type storeConfig struct {
-	k      int
-	shards int
-	solver maxent.Options
+	k         int
+	shards    int
+	solver    maxent.Options
+	paneWidth time.Duration
+	retention int
+	now       func() time.Time
 }
 
 // WithShards sets the number of lock stripes (rounded up to a power of two,
@@ -71,6 +89,25 @@ func WithSolverOptions(o maxent.Options) Option {
 	return func(c *storeConfig) { c.solver = o }
 }
 
+// WithWindow adds a time dimension to the store: alongside its all-time
+// sketch, every key keeps a ring of `retention` fixed-width time panes of
+// `paneWidth` each, enabling the windowed queries of §7.2.2. Pane expiry is
+// turnstile — the expiring pane's power sums are subtracted from a rolling
+// retained sketch — so sliding a window costs two O(k) vector operations,
+// not a re-merge. retention must be in [2, MaxRetention].
+func WithWindow(paneWidth time.Duration, retention int) Option {
+	return func(c *storeConfig) {
+		c.paneWidth = paneWidth
+		c.retention = retention
+	}
+}
+
+// WithClock overrides the wall clock used to stamp unstamped observations
+// and expire panes (default time.Now) — for tests and simulations.
+func WithClock(now func() time.Time) Option {
+	return func(c *storeConfig) { c.now = now }
+}
+
 // New returns an empty store. Like core.New, it panics if the configured
 // order is outside [1, core.MaxK] — failing at construction rather than on
 // the first ingested observation.
@@ -82,8 +119,14 @@ func New(opts ...Option) *Store {
 	if cfg.k < 1 || cfg.k > core.MaxK {
 		panic(fmt.Sprintf("shard: sketch order %d outside [1,%d]", cfg.k, core.MaxK))
 	}
+	if cfg.paneWidth < 0 || (cfg.paneWidth > 0 && (cfg.retention < 2 || cfg.retention > MaxRetention)) {
+		panic(fmt.Sprintf("shard: window retention %d outside [2,%d]", cfg.retention, MaxRetention))
+	}
 	if cfg.shards <= 0 {
 		cfg.shards = 8 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
 	}
 	n := 1
 	for n < cfg.shards {
@@ -94,9 +137,14 @@ func New(opts ...Option) *Store {
 		mask:    uint64(n - 1),
 		stripes: make([]stripe, n),
 		solver:  cfg.solver,
+		now:     cfg.now,
+	}
+	if cfg.paneWidth > 0 {
+		s.paneWidth = int64(cfg.paneWidth)
+		s.retention = cfg.retention
 	}
 	for i := range s.stripes {
-		s.stripes[i].entries = make(map[string]*core.Sketch)
+		s.stripes[i].entries = make(map[string]*entry)
 	}
 	return s
 }
@@ -121,22 +169,58 @@ func (s *Store) stripeFor(key string) *stripe {
 	return &s.stripes[fnv64a(key)&s.mask]
 }
 
-// sketchLocked returns the sketch for key, creating it if absent. The
-// stripe lock must be held.
-func (st *stripe) sketchLocked(key string, k int) *core.Sketch {
-	sk, ok := st.entries[key]
+// entryLocked returns the entry for key, creating it if absent. The stripe
+// lock must be held.
+func (s *Store) entryLocked(st *stripe, key string) *entry {
+	e, ok := st.entries[key]
 	if !ok {
-		sk = core.New(k)
-		st.entries[key] = sk
+		e = &entry{all: core.New(s.k)}
+		if s.paneWidth > 0 {
+			e.ring = newPaneRing(s.k, s.retention)
+		}
+		st.entries[key] = e
 	}
-	return sk
+	return e
 }
 
-// Add accumulates one observation.
+// addLocked accumulates one observation into an entry: always into the
+// all-time sketch, and — on windowed stores — into the pane containing at,
+// clamped to nowPane. The clamp means a data-supplied future timestamp
+// (clock skew, or a hostile ingest body) lands in the current pane instead
+// of advancing the ring and expiring live panes. The stripe lock must be
+// held.
+func (s *Store) addLocked(e *entry, x float64, at time.Time, nowPane int64) {
+	e.all.Add(x)
+	if e.ring != nil {
+		p := s.paneIndex(at)
+		if p > nowPane {
+			p = nowPane
+		}
+		e.ring.observe(p, x, s.k)
+	}
+}
+
+// Add accumulates one observation stamped with the store clock's now.
 func (s *Store) Add(key string, x float64) {
+	s.AddAt(key, x, s.now())
+}
+
+// AddAt accumulates one observation at an explicit instant; the zero time
+// means "now", matching Batch.AddAt. On windowed stores the value lands in
+// the pane containing at; observations older than the retained range (or
+// before 1970) still count toward the all-time sketch but no pane, and
+// instants after the clock's now clamp to the current pane.
+func (s *Store) AddAt(key string, x float64, at time.Time) {
+	if at.IsZero() {
+		at = s.now()
+	}
+	nowPane := int64(0)
+	if s.paneWidth > 0 {
+		nowPane = s.nowPane()
+	}
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	st.sketchLocked(key, s.k).Add(x)
+	s.addLocked(s.entryLocked(st, key), x, at, nowPane)
 	st.count++
 	st.mu.Unlock()
 }
@@ -160,13 +244,20 @@ func (s *Store) NewBatch() *Batch {
 	}
 }
 
-// Add appends one observation to the batch.
+// Add appends one observation to the batch, stamped with the store clock's
+// now at flush time.
 func (b *Batch) Add(key string, x float64) {
+	b.AddAt(key, x, time.Time{})
+}
+
+// AddAt appends one observation with an explicit timestamp. The zero time
+// means "stamp with the flush instant".
+func (b *Batch) AddAt(key string, x float64, at time.Time) {
 	i := int(fnv64a(key) & b.store.mask)
 	if len(b.buckets[i]) == 0 {
 		b.touched = append(b.touched, i)
 	}
-	b.buckets[i] = append(b.buckets[i], Observation{Key: key, Value: x})
+	b.buckets[i] = append(b.buckets[i], Observation{Key: key, Value: x, At: at})
 	b.n++
 }
 
@@ -177,11 +268,20 @@ func (b *Batch) Len() int { return b.n }
 // It returns the number of observations applied.
 func (b *Batch) Flush() int {
 	applied := b.n
+	now := b.store.now()
+	nowPane := int64(0)
+	if b.store.paneWidth > 0 {
+		nowPane = b.store.paneIndex(now)
+	}
 	for _, i := range b.touched {
 		st := &b.store.stripes[i]
 		st.mu.Lock()
 		for _, o := range b.buckets[i] {
-			st.sketchLocked(o.Key, b.store.k).Add(o.Value)
+			at := o.At
+			if at.IsZero() {
+				at = now
+			}
+			b.store.addLocked(b.store.entryLocked(st, o.Key), o.Value, at, nowPane)
 		}
 		st.count += float64(len(b.buckets[i]))
 		st.mu.Unlock()
@@ -205,14 +305,14 @@ func (b *Batch) Discard() {
 	b.n = 0
 }
 
-// Sketch returns an independent clone of the sketch for key.
+// Sketch returns an independent clone of the all-time sketch for key.
 func (s *Store) Sketch(key string) (*core.Sketch, bool) {
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	sk, ok := st.entries[key]
+	e, ok := st.entries[key]
 	var c *core.Sketch
 	if ok {
-		c = sk.Clone()
+		c = e.all.Clone()
 	}
 	st.mu.Unlock()
 	return c, ok
@@ -224,8 +324,8 @@ func (s *Store) Count(key string) float64 {
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if sk, ok := st.entries[key]; ok {
-		return sk.Count
+	if e, ok := st.entries[key]; ok {
+		return e.all.Count
 	}
 	return 0
 }
@@ -296,9 +396,9 @@ func (s *Store) MatchContext(ctx context.Context, prefix string) ([]Keyed, error
 		}
 		st := &s.stripes[i]
 		st.mu.Lock()
-		for k, sk := range st.entries {
+		for k, e := range st.entries {
 			if strings.HasPrefix(k, prefix) {
-				out = append(out, Keyed{Key: k, Sketch: sk.Clone()})
+				out = append(out, Keyed{Key: k, Sketch: e.all.Clone()})
 			}
 		}
 		st.mu.Unlock()
@@ -342,7 +442,7 @@ func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (*core.Sk
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			if err := out.Merge(st.entries[k]); err != nil {
+			if err := out.Merge(st.entries[k].all); err != nil {
 				st.mu.Unlock()
 				return nil, merges, err
 			}
@@ -398,9 +498,9 @@ func (s *Store) Delete(key string) bool {
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	sk, ok := st.entries[key]
+	e, ok := st.entries[key]
 	if ok {
-		st.count -= sk.Count
+		st.count -= e.all.Count
 		delete(st.entries, key)
 	}
 	return ok
@@ -411,7 +511,7 @@ func (s *Store) Reset() {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()
-		st.entries = make(map[string]*core.Sketch)
+		st.entries = make(map[string]*entry)
 		st.count = 0
 		st.mu.Unlock()
 	}
@@ -422,10 +522,23 @@ func (s *Store) Reset() {
 // all-ones key-length sentinel followed by the record count) so truncation
 // — even at a record boundary — is always detectable. See internal/encoding
 // for the sketch payload codec.
+//
+// Version 1 is the timeless format: each record is the key plus the
+// all-time sketch payload. Version 2 — written if and only if the store has
+// time panes — appends the pane configuration (width in nanoseconds,
+// retention) to the header and, to each record, the key's live panes as a
+// pane count followed by (absolute pane index, payload) pairs. Pane indices
+// are absolute (unix nanoseconds / width), so a restored store re-expires
+// against the wall clock: panes that aged out while the snapshot sat on
+// disk are dropped during Restore, and each key's rolling retained sketch
+// is rebuilt by an exact re-merge of the live panes (clearing any turnstile
+// floating-point drift).
 const (
-	snapMagic     = "MDSS"
-	snapVersion   = 1
-	snapEndMarker = ^uint64(0) // key-length sentinel introducing the trailer
+	snapMagic      = "MDSS"
+	snapVersion    = 1
+	snapVersionV2  = 2
+	snapEndMarker  = ^uint64(0) // key-length sentinel introducing the trailer
+	maxSnapPayload = 1 << 24    // per-sketch payload cap
 )
 
 // MaxKeyLen is the longest key the snapshot format round-trips (1 MiB).
@@ -444,25 +557,64 @@ func (s *Store) Snapshot(w io.Writer) error {
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
-	header := []byte{snapVersion, byte(s.k)}
+	version := byte(snapVersion)
+	if s.paneWidth > 0 {
+		version = snapVersionV2
+	}
+	header := []byte{version, byte(s.k)}
 	if _, err := bw.Write(header); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(records []byte, v uint64) []byte {
+		n := binary.PutUvarint(scratch[:], v)
+		return append(records, scratch[:n]...)
+	}
+	if version == snapVersionV2 {
+		var hdr []byte
+		hdr = putUvarint(hdr, uint64(s.paneWidth))
+		hdr = putUvarint(hdr, uint64(s.retention))
+		if _, err := bw.Write(hdr); err != nil {
+			return err
+		}
+	}
+	nowPane := int64(0)
+	if s.paneWidth > 0 {
+		nowPane = s.nowPane()
+	}
 	var records []byte
 	total := uint64(0)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		records = records[:0]
 		st.mu.Lock()
-		for key, sk := range st.entries {
-			payload := encoding.Marshal(sk)
-			n := binary.PutUvarint(scratch[:], uint64(len(key)))
-			records = append(records, scratch[:n]...)
+		for key, e := range st.entries {
+			payload := encoding.Marshal(e.all)
+			records = putUvarint(records, uint64(len(key)))
 			records = append(records, key...)
-			n = binary.PutUvarint(scratch[:], uint64(len(payload)))
-			records = append(records, scratch[:n]...)
+			records = putUvarint(records, uint64(len(payload)))
 			records = append(records, payload...)
+			if version == snapVersionV2 {
+				// Expire first so stale panes are not persisted; count the
+				// live panes, then emit (index, payload) pairs.
+				e.ring.advance(nowPane)
+				live := uint64(0)
+				for j := range e.ring.slots {
+					if e.ring.slots[j].idx >= 0 {
+						live++
+					}
+				}
+				records = putUvarint(records, live)
+				for j := range e.ring.slots {
+					if e.ring.slots[j].idx < 0 {
+						continue
+					}
+					pp := encoding.Marshal(e.ring.slots[j].sk)
+					records = putUvarint(records, uint64(e.ring.slots[j].idx))
+					records = putUvarint(records, uint64(len(pp)))
+					records = append(records, pp...)
+				}
+			}
 			total++
 		}
 		st.mu.Unlock()
@@ -495,13 +647,65 @@ func (s *Store) Restore(r io.Reader) error {
 	if string(head[:len(snapMagic)]) != snapMagic {
 		return errors.New("shard: not a snapshot stream (bad magic)")
 	}
-	if head[len(snapMagic)] != snapVersion {
-		return fmt.Errorf("shard: unsupported snapshot version %d", head[len(snapMagic)])
+	version := head[len(snapMagic)]
+	if version != snapVersion && version != snapVersionV2 {
+		return fmt.Errorf("shard: unsupported snapshot version %d", version)
 	}
 	if k := int(head[len(snapMagic)+1]); k != s.k {
 		return fmt.Errorf("shard: snapshot order k=%d does not match store order k=%d", k, s.k)
 	}
-	staged := make(map[string]*core.Sketch)
+	if version == snapVersionV2 {
+		width, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("shard: reading snapshot pane config: %w", err)
+		}
+		retention, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("shard: reading snapshot pane config: %w", err)
+		}
+		if s.paneWidth <= 0 {
+			return errors.New("shard: windowed (v2) snapshot into a store without time panes")
+		}
+		if int64(width) != s.paneWidth || int(retention) != s.retention {
+			return fmt.Errorf("shard: snapshot pane config (width=%s, retention=%d) does not match store (width=%s, retention=%d)",
+				time.Duration(width), retention, time.Duration(s.paneWidth), s.retention)
+		}
+	}
+
+	type stagedPane struct {
+		idx int64
+		sk  *core.Sketch
+	}
+	type stagedEntry struct {
+		all   *core.Sketch
+		panes []stagedPane
+	}
+	readSketch := func(buf []byte) ([]byte, *core.Sketch, error) {
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return buf, nil, fmt.Errorf("shard: reading snapshot record: %w", err)
+		}
+		if payloadLen > maxSnapPayload {
+			return buf, nil, errors.New("shard: implausible sketch length in snapshot")
+		}
+		if uint64(cap(buf)) < payloadLen {
+			buf = make([]byte, payloadLen)
+		}
+		buf = buf[:payloadLen]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return buf, nil, fmt.Errorf("shard: reading snapshot payload: %w", err)
+		}
+		sk, err := encoding.Unmarshal(buf)
+		if err != nil {
+			return buf, nil, fmt.Errorf("shard: decoding snapshot sketch: %w", err)
+		}
+		if sk.K != s.k {
+			return buf, nil, fmt.Errorf("shard: snapshot sketch order k=%d does not match store order k=%d", sk.K, s.k)
+		}
+		return buf, sk, nil
+	}
+
+	staged := make(map[string]*stagedEntry)
 	var buf []byte
 	for {
 		keyLen, err := binary.ReadUvarint(br)
@@ -525,50 +729,76 @@ func (s *Store) Restore(r io.Reader) error {
 		if _, err := io.ReadFull(br, keyBytes); err != nil {
 			return fmt.Errorf("shard: reading snapshot key: %w", err)
 		}
-		payloadLen, err := binary.ReadUvarint(br)
-		if err != nil {
-			return fmt.Errorf("shard: reading snapshot record: %w", err)
+		se := &stagedEntry{}
+		if buf, se.all, err = readSketch(buf); err != nil {
+			return err
 		}
-		if payloadLen > 1<<24 {
-			return errors.New("shard: implausible sketch length in snapshot")
+		if version == snapVersionV2 {
+			paneCount, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("shard: reading snapshot pane count: %w", err)
+			}
+			if paneCount > uint64(s.retention) {
+				return fmt.Errorf("shard: snapshot pane count %d exceeds retention %d", paneCount, s.retention)
+			}
+			seen := make(map[int64]bool, paneCount)
+			for p := uint64(0); p < paneCount; p++ {
+				idx, err := binary.ReadUvarint(br)
+				if err != nil {
+					return fmt.Errorf("shard: reading snapshot pane index: %w", err)
+				}
+				// A duplicate index would merge twice into the rolling
+				// retained sketch but occupy one ring slot, desynchronizing
+				// retained from the panes until the ring next fully resets.
+				if seen[int64(idx)] {
+					return fmt.Errorf("shard: duplicate pane index %d in snapshot", idx)
+				}
+				seen[int64(idx)] = true
+				var sk *core.Sketch
+				if buf, sk, err = readSketch(buf); err != nil {
+					return err
+				}
+				se.panes = append(se.panes, stagedPane{idx: int64(idx), sk: sk})
+			}
 		}
-		if uint64(cap(buf)) < payloadLen {
-			buf = make([]byte, payloadLen)
-		}
-		buf = buf[:payloadLen]
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return fmt.Errorf("shard: reading snapshot payload: %w", err)
-		}
-		sk, err := encoding.Unmarshal(buf)
-		if err != nil {
-			return fmt.Errorf("shard: decoding snapshot sketch: %w", err)
-		}
-		if sk.K != s.k {
-			return fmt.Errorf("shard: snapshot sketch order k=%d does not match store order k=%d", sk.K, s.k)
-		}
-		staged[string(keyBytes)] = sk
+		staged[string(keyBytes)] = se
 	}
 
 	// Swap the staged contents in stripe by stripe, replacing each stripe's
 	// map and recomputing its count wholesale. Each stripe's replacement is
 	// atomic under its lock, so concurrent ingest never leaves a stripe
-	// whose count disagrees with its entries.
-	perStripe := make([]map[string]*core.Sketch, len(s.stripes))
-	for key, sk := range staged {
+	// whose count disagrees with its entries. Pane rings are rebuilt
+	// against the wall clock: panes that expired while the snapshot sat on
+	// disk are dropped, and each key's rolling retained sketch is an exact
+	// re-merge of its live panes.
+	nowPane := int64(0)
+	if s.paneWidth > 0 {
+		nowPane = s.nowPane()
+	}
+	perStripe := make([]map[string]*entry, len(s.stripes))
+	for key, se := range staged {
 		i := fnv64a(key) & s.mask
 		if perStripe[i] == nil {
-			perStripe[i] = make(map[string]*core.Sketch)
+			perStripe[i] = make(map[string]*entry)
 		}
-		perStripe[i][key] = sk
+		e := &entry{all: se.all}
+		if s.paneWidth > 0 {
+			e.ring = newPaneRing(s.k, s.retention)
+			e.ring.advance(nowPane)
+			for _, p := range se.panes {
+				e.ring.restorePane(p.idx, p.sk)
+			}
+		}
+		perStripe[i][key] = e
 	}
 	for i := range s.stripes {
 		entries := perStripe[i]
 		if entries == nil {
-			entries = make(map[string]*core.Sketch)
+			entries = make(map[string]*entry)
 		}
 		count := 0.0
-		for _, sk := range entries {
-			count += sk.Count
+		for _, e := range entries {
+			count += e.all.Count
 		}
 		st := &s.stripes[i]
 		st.mu.Lock()

@@ -1,0 +1,137 @@
+// Command linkcheck validates the relative links and intra-repo anchors of
+// markdown files, so cross-references between README.md, ARCHITECTURE.md
+// and docs/ cannot rot silently. It checks that:
+//
+//   - every relative link target exists on disk (resolved against the
+//     linking file's directory),
+//   - every fragment (`file.md#anchor` or `#anchor`) matches a heading in
+//     the target file, using GitHub's heading-slug rules.
+//
+// External links (http/https/mailto) are skipped — CI must not depend on
+// the network. Exit status is non-zero if any link is broken.
+//
+// Usage: go run ./internal/tools/linkcheck README.md ARCHITECTURE.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and intentionally unsupported.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// slugStripRe removes the characters GitHub drops when slugging headings.
+var slugStripRe = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// slug converts a heading to its GitHub anchor id.
+func slug(heading string) string {
+	// Strip inline code/emphasis markers and links before slugging.
+	h := strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	if m := regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).FindStringSubmatch(h); m != nil {
+		h = strings.Replace(h, m[0], m[1], 1)
+	}
+	h = strings.ToLower(h)
+	h = slugStripRe.ReplaceAllString(h, "")
+	h = strings.ReplaceAll(h, " ", "-")
+	return h
+}
+
+// anchorsOf returns the set of heading anchors a markdown file defines.
+func anchorsOf(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		s := slug(m[1])
+		// GitHub dedups repeated headings as slug, slug-1, slug-2, …
+		base, n := s, 0
+		for anchors[s] {
+			n++
+			s = fmt.Sprintf("%s-%d", base, n)
+		}
+		anchors[s] = true
+	}
+	return anchors, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md ...")
+		os.Exit(2)
+	}
+	anchorCache := map[string]map[string]bool{}
+	anchors := func(path string) (map[string]bool, error) {
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return nil, err
+		}
+		if a, ok := anchorCache[abs]; ok {
+			return a, nil
+		}
+		a, err := anchorsOf(abs)
+		if err != nil {
+			return nil, err
+		}
+		anchorCache[abs] = a
+		return a, nil
+	}
+
+	broken := 0
+	fail := func(file, target, why string) {
+		fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q: %s\n", file, target, why)
+		broken++
+	}
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+		checked := 0
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			pathPart, fragment, _ := strings.Cut(target, "#")
+			dest := file
+			if pathPart != "" {
+				dest = filepath.Join(filepath.Dir(file), pathPart)
+				info, err := os.Stat(dest)
+				if err != nil {
+					fail(file, target, "target does not exist")
+					continue
+				}
+				if info.IsDir() {
+					continue // directory links render as listings; nothing to anchor-check
+				}
+			}
+			if fragment != "" && strings.HasSuffix(dest, ".md") {
+				a, err := anchors(dest)
+				if err != nil {
+					fail(file, target, err.Error())
+					continue
+				}
+				if !a[fragment] {
+					fail(file, target, "no heading with this anchor in "+dest)
+					continue
+				}
+			}
+			checked++
+		}
+		fmt.Printf("linkcheck: %s: %d relative links ok\n", file, checked)
+	}
+	if broken > 0 {
+		os.Exit(1)
+	}
+}

@@ -9,4 +9,12 @@
 // Because Sub cannot shrink the tracked [Min, Max] support, ScanMoments
 // recomputes the live range from the current panes and calls TightenRange
 // before each estimate, keeping the maximum-entropy solve well-conditioned.
+// Windows holding no data are skipped rather than flagged — pane streams
+// from a live store can have gaps.
+//
+// The serving stack builds on the same math: internal/shard maintains the
+// per-key pane rings and rolling turnstile sketches, internal/query
+// evaluates window selections with the same Sub/Merge slides, and
+// POST /v1/windows in internal/server drives ScanMoments directly as an
+// alert-scan endpoint.
 package window

@@ -1,0 +1,39 @@
+package window_test
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/maxent"
+	"repro/internal/window"
+)
+
+// ExampleScanMoments slides a 3-pane window across eight panes of
+// pre-aggregated latencies. Panes 4 and 5 carry a latency spike, so every
+// window touching them has a 90th percentile above the 30ms limit. Each
+// slide costs two O(k) vector operations — subtract the expiring pane's
+// power sums, add the arriving pane's — instead of a full re-merge.
+func ExampleScanMoments() {
+	panes := make([]*core.Sketch, 8)
+	for p := range panes {
+		panes[p] = core.New(10)
+		for i := 0; i < 500; i++ {
+			v := 5 + float64(i%20) // steady ~5-24ms traffic
+			if (p == 4 || p == 5) && i%2 == 0 {
+				v = 80 + float64(i%10) // spike: half the requests ~80ms
+			}
+			panes[p].Add(v)
+		}
+	}
+
+	res, err := window.ScanMoments(panes, 3, 30, 0.9, cascade.Full(), maxent.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("windows scanned:", res.Stats.Queries)
+	fmt.Println("hot window starts:", res.Hot)
+	// Output:
+	// windows scanned: 6
+	// hot window starts: [2 3 4 5]
+}

@@ -1,6 +1,7 @@
 package window
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -28,6 +29,13 @@ type Result struct {
 // each turnstile update, which keeps the sketch's support tight (Sub cannot
 // shrink it).
 func ScanMoments(panes []*core.Sketch, width int, t, phi float64, cfg cascade.Config, solver maxent.Options) (*Result, error) {
+	return ScanMomentsContext(context.Background(), panes, width, t, phi, cfg, solver)
+}
+
+// ScanMomentsContext is ScanMoments with cancellation: the scan checks ctx
+// between window positions, so a serving caller whose request dies does not
+// keep resolving thresholds to the end of the pane stream.
+func ScanMomentsContext(ctx context.Context, panes []*core.Sketch, width int, t, phi float64, cfg cascade.Config, solver maxent.Options) (*Result, error) {
 	res := &Result{}
 	if width <= 0 || len(panes) < width {
 		return res, nil
@@ -43,20 +51,28 @@ func ScanMoments(panes []*core.Sketch, width int, t, phi float64, cfg cascade.Co
 
 	cfg.Solver = solver
 	for w := 0; ; w++ {
-		// Tighten the tracked range to the live panes before estimating.
-		lo, hi := paneRange(panes[w : w+width])
-		cur.TightenRange(lo, hi)
-
-		est := time.Now()
-		// A solver failure still yields a bound-based fallback decision
-		// from the cascade; only structural errors (empty sketch) abort.
-		above, err := cascade.Threshold(cur, t, phi, cfg, &res.Stats)
-		if err != nil && errors.Is(err, core.ErrEmpty) {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res.EstTime += time.Since(est)
-		if above {
-			res.Hot = append(res.Hot, w)
+		// Tighten the tracked range to the live panes before estimating.
+		lo, hi := PaneRange(panes[w : w+width])
+		cur.TightenRange(lo, hi)
+
+		// A window with no data has no quantile to breach — skip it rather
+		// than aborting the scan (pane streams from a live store can have
+		// gaps).
+		if !cur.IsEmpty() {
+			est := time.Now()
+			// A solver failure still yields a bound-based fallback decision
+			// from the cascade; only structural errors (empty sketch) abort.
+			above, err := cascade.Threshold(cur, t, phi, cfg, &res.Stats)
+			if err != nil && errors.Is(err, core.ErrEmpty) {
+				return nil, err
+			}
+			res.EstTime += time.Since(est)
+			if above {
+				res.Hot = append(res.Hot, w)
+			}
 		}
 
 		if w+width >= len(panes) {
@@ -77,8 +93,11 @@ func ScanMoments(panes []*core.Sketch, width int, t, phi float64, cfg cascade.Co
 	return res, nil
 }
 
-// paneRange returns the min/max across live panes.
-func paneRange(panes []*core.Sketch) (lo, hi float64) {
+// PaneRange returns the tightest [lo, hi] across the panes' values (±Inf
+// when every pane is empty) — the range TightenRange needs after turnstile
+// subtraction, shared by this package's scanners and the query engine's
+// sliding-window executor.
+func PaneRange(panes []*core.Sketch) (lo, hi float64) {
 	lo, hi = panes[0].Min, panes[0].Max
 	for _, p := range panes[1:] {
 		if p.Min < lo {
