@@ -7,8 +7,16 @@
 // Usage:
 //
 //	momentsd [-addr :7607] [-k 10] [-shards N] [-sep .] [-workers N]
-//	         [-pane-width DUR] [-panes N]
+//	         [-solve-cache N] [-pane-width DUR] [-panes N]
 //	         [-snapshot FILE] [-snapshot-interval DUR]
+//	         [-pprof-addr ADDR]
+//
+// -solve-cache bounds the engine's cross-request solve cache (resolved
+// selections with their solved max-ent densities, invalidated by mutation
+// version; capacity in cached rollups, default 1024, 0 disables) —
+// hit/miss/eviction counters appear on /stats and /v1/stats. -pprof-addr serves net/http/pprof on a
+// separate listener for live profiling (off by default; see
+// ARCHITECTURE.md "Profiling a live daemon").
 //
 // With -pane-width, the store gains a time dimension: every key keeps a
 // ring of -panes fixed-width time panes alongside its all-time sketch,
@@ -59,6 +67,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,6 +76,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -78,10 +88,12 @@ func main() {
 		shards       = flag.Int("shards", 0, "lock stripes (0 = 8×GOMAXPROCS, rounded to a power of two)")
 		sep          = flag.String("sep", ".", "key segment separator for group-by selections")
 		workers      = flag.Int("workers", 0, "query executor worker pool size (0 = GOMAXPROCS)")
+		solveCache   = flag.Int("solve-cache", query.DefaultSolveCacheSize, "cross-request solve cache capacity in cached rollups (group-by selections charge one per group; 0 disables)")
 		paneWidth    = flag.Duration("pane-width", 0, "time pane width; > 0 enables windowed queries (/v1/query window selections, /v1/windows)")
 		panes        = flag.Int("panes", 240, "time panes retained per key when -pane-width is set")
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -106,13 +118,29 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(store, server.WithKeySeparator(*sep), server.WithQueryWorkers(*workers)),
+		Addr: *addr,
+		Handler: server.New(store,
+			server.WithKeySeparator(*sep),
+			server.WithQueryWorkers(*workers),
+			server.WithSolveCache(*solveCache)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener (and the
+		// default mux), so they are never reachable through the serving
+		// address. See ARCHITECTURE.md "Profiling a live daemon".
+		go func() {
+			log.Printf("momentsd: pprof listening on %s", *pprofAddr)
+			pp := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := pp.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("momentsd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	// snapMu serializes snapshot saves so an in-flight periodic save cannot
 	// finish after — and thereby clobber — the final shutdown snapshot.

@@ -56,6 +56,13 @@ type Stats struct {
 	Queries  int
 	Resolved [NumStages]int
 	Time     [NumStages]time.Duration
+	// Solves counts successful maximum-entropy solves reached by the
+	// MaxEnt stage; WarmSolves counts how many of them were warm-started
+	// from Options.Theta0; NewtonIters accumulates their Newton iteration
+	// counts — the measurable currency of the warm-start optimization.
+	Solves      int
+	WarmSolves  int
+	NewtonIters int
 }
 
 // Reached returns how many queries reached the given stage (i.e. were not
@@ -88,22 +95,31 @@ func (st *Stats) FractionHit() [NumStages]float64 {
 // back to the midpoint of the tightest available bound and err carries the
 // solver failure.
 func Threshold(sk *core.Sketch, t, phi float64, cfg Config, stats *Stats) (bool, error) {
+	above, _, err := ThresholdSolve(sk, t, phi, cfg, stats)
+	return above, err
+}
+
+// ThresholdSolve is Threshold, additionally returning the maximum-entropy
+// solution when the MaxEnt stage ran and converged (nil when an earlier
+// stage settled the query or the solver failed). Sliding-window scanners use
+// the returned θ to warm-start the next position's solve.
+func ThresholdSolve(sk *core.Sketch, t, phi float64, cfg Config, stats *Stats) (bool, *maxent.Solution, error) {
 	if stats != nil {
 		stats.Queries++
 	}
 	if sk.IsEmpty() {
-		return false, core.ErrEmpty
+		return false, nil, core.ErrEmpty
 	}
 
 	if cfg.UseSimple {
 		start := now(stats)
 		if t >= sk.Max {
 			resolve(stats, StageSimple, start)
-			return false, nil
+			return false, nil, nil
 		}
 		if t < sk.Min {
 			resolve(stats, StageSimple, start)
-			return true, nil
+			return true, nil, nil
 		}
 		charge(stats, StageSimple, start)
 	}
@@ -114,11 +130,11 @@ func Threshold(sk *core.Sketch, t, phi float64, cfg Config, stats *Stats) (bool,
 		best = best.Intersect(bounds.Markov(sk, t))
 		if best.Hi < phi {
 			resolve(stats, StageMarkov, start)
-			return true, nil
+			return true, nil, nil
 		}
 		if best.Lo > phi {
 			resolve(stats, StageMarkov, start)
-			return false, nil
+			return false, nil, nil
 		}
 		charge(stats, StageMarkov, start)
 	}
@@ -127,11 +143,11 @@ func Threshold(sk *core.Sketch, t, phi float64, cfg Config, stats *Stats) (bool,
 		best = best.Intersect(bounds.RTT(sk, t))
 		if best.Hi < phi {
 			resolve(stats, StageRTT, start)
-			return true, nil
+			return true, nil, nil
 		}
 		if best.Lo > phi {
 			resolve(stats, StageRTT, start)
-			return false, nil
+			return false, nil, nil
 		}
 		charge(stats, StageRTT, start)
 	}
@@ -148,11 +164,18 @@ func Threshold(sk *core.Sketch, t, phi float64, cfg Config, stats *Stats) (bool,
 			best = best.Intersect(bounds.RTT(sk, t))
 		}
 		resolve(stats, StageMaxEnt, start)
-		return (best.Lo+best.Hi)/2 < phi, err
+		return (best.Lo+best.Hi)/2 < phi, nil, err
+	}
+	if stats != nil {
+		stats.Solves++
+		stats.NewtonIters += sol.Iterations
+		if sol.Warm {
+			stats.WarmSolves++
+		}
 	}
 	q := sol.Quantile(phi)
 	resolve(stats, StageMaxEnt, start)
-	return q > t, nil
+	return q > t, sol, nil
 }
 
 // Quantile computes the maximum-entropy quantile estimate directly (no

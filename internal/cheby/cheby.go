@@ -78,6 +78,21 @@ func Nodes(n int) []float64 {
 	return pts
 }
 
+var nodesCache sync.Map // int -> []float64
+
+// CachedNodes returns the same points as Nodes from a process-wide cache.
+// The returned slice is shared: callers must treat it as read-only. Hot
+// solver loops use this so rebuilding a grid costs no node recomputation
+// or allocation.
+func CachedNodes(n int) []float64 {
+	if cached, ok := nodesCache.Load(n); ok {
+		return cached.([]float64)
+	}
+	pts := Nodes(n)
+	nodesCache.Store(n, pts)
+	return pts
+}
+
 // Interpolate converts samples y[p] = f(x_p) on the Lobatto grid (as from
 // Nodes) into Chebyshev coefficients c such that f(x) ≈ Σ c[k]·T_k(x).
 // len(y) must be N+1 with N a power of two (or N=0).
@@ -85,7 +100,14 @@ func Nodes(n int) []float64 {
 // Unlike the raw DCT-I, the returned coefficients fold the conventional
 // half-weights of c[0] and c[N] in, so Eval can be applied directly.
 func Interpolate(y []float64) []float64 {
-	c := fft.DCT1(y)
+	return InterpolateScratch(y, nil)
+}
+
+// InterpolateScratch is Interpolate reusing a caller-provided FFT scratch
+// buffer (len ≥ 2·(len(y)-1); nil allocates). The returned coefficients are
+// always freshly allocated and safe to retain.
+func InterpolateScratch(y []float64, z []complex128) []float64 {
+	c := fft.DCT1Scratch(y, z)
 	c[0] /= 2
 	if len(c) > 1 {
 		c[len(c)-1] /= 2

@@ -79,6 +79,15 @@ func fftInPlace(x []complex128, inverse bool) {
 // The transform runs in O(N log N) via a length-2N complex FFT of the even
 // extension of y.
 func DCT1(y []float64) []float64 {
+	return DCT1Scratch(y, nil)
+}
+
+// DCT1Scratch is DCT1 with a caller-provided FFT scratch buffer: z must
+// have length ≥ 2·(len(y)-1) (nil allocates one). Only the returned
+// coefficient slice is freshly allocated, so a solver loop that reuses z
+// pays one small allocation per transform instead of the 2N-point complex
+// workspace.
+func DCT1Scratch(y []float64, z []complex128) []float64 {
 	n := len(y) - 1
 	if n <= 0 {
 		out := make([]float64, len(y))
@@ -93,7 +102,10 @@ func DCT1(y []float64) []float64 {
 	}
 	// Even extension: z has period 2N with z[p] = y[p] for p<=N and
 	// z[2N-p] = y[p].
-	z := make([]complex128, 2*n)
+	if len(z) < 2*n {
+		z = make([]complex128, 2*n)
+	}
+	z = z[:2*n]
 	for p := 0; p <= n; p++ {
 		z[p] = complex(y[p], 0)
 	}

@@ -9,15 +9,11 @@ type Cholesky struct {
 	l []float64 // row-major lower triangle, full n*n storage
 }
 
-// NewCholesky factors the symmetric positive-definite matrix a. Only the
-// lower triangle of a is read. It returns ErrSingular if a pivot is not
-// strictly positive (a is singular or indefinite to working precision).
-func NewCholesky(a *Dense) (*Cholesky, error) {
-	if a.Rows != a.Cols {
-		panic("linalg: Cholesky of non-square matrix")
-	}
+// choleskyFactor factors the symmetric positive-definite matrix a into the
+// caller-provided buffer l (len n*n). Only the lower triangle of a is read.
+// It returns ErrSingular if a pivot is not strictly positive.
+func choleskyFactor(a *Dense, l []float64) error {
 	n := a.Rows
-	l := make([]float64, n*n)
 	copy(l, a.Data)
 	for j := 0; j < n; j++ {
 		d := l[j*n+j]
@@ -25,7 +21,7 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			d -= l[j*n+k] * l[j*n+k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		d = math.Sqrt(d)
 		l[j*n+j] = d
@@ -43,58 +39,113 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			l[i*n+j] = 0
 		}
 	}
+	return nil
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read. It returns ErrSingular if a pivot is not
+// strictly positive (a is singular or indefinite to working precision).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	if err := choleskyFactor(a, l); err != nil {
+		return nil, err
+	}
 	return &Cholesky{n: n, l: l}, nil
 }
 
 // Solve solves A x = b using the factorization. The result is written into a
 // new slice.
 func (c *Cholesky) Solve(b []float64) []float64 {
-	if len(b) != c.n {
+	x := make([]float64, c.n)
+	return c.SolveInto(b, x)
+}
+
+// SolveInto solves A x = b into dst (len n), which is returned. b and dst
+// may alias.
+func (c *Cholesky) SolveInto(b, dst []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
 		panic("linalg: Cholesky.Solve dimension mismatch")
 	}
 	n := c.n
-	x := make([]float64, n)
-	copy(x, b)
+	copy(dst, b)
 	// Forward solve L y = b.
 	for i := 0; i < n; i++ {
-		s := x[i]
+		s := dst[i]
 		for k := 0; k < i; k++ {
-			s -= c.l[i*n+k] * x[k]
+			s -= c.l[i*n+k] * dst[k]
 		}
-		x[i] = s / c.l[i*n+i]
+		dst[i] = s / c.l[i*n+i]
 	}
 	// Back solve Lᵀ x = y.
 	for i := n - 1; i >= 0; i-- {
-		s := x[i]
+		s := dst[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.l[k*n+i] * x[k]
+			s -= c.l[k*n+i] * dst[k]
 		}
-		x[i] = s / c.l[i*n+i]
+		dst[i] = s / c.l[i*n+i]
 	}
-	return x
+	return dst
+}
+
+// SPDSolver is a reusable symmetric-positive-definite solve: the working
+// copy, Cholesky factor and solution vector are kept between calls, so a
+// Newton loop solving the same-dimension system every iteration allocates
+// nothing after the first call. The zero value is ready to use; a solver
+// must not be used concurrently.
+type SPDSolver struct {
+	work *Dense
+	l    []float64
+	x    []float64
+}
+
+// Solve solves A x = b for symmetric positive definite A with the same
+// ridge-retry policy as SolveSPD. The returned slice aliases the solver's
+// internal buffer and is valid until the next call.
+func (s *SPDSolver) Solve(a *Dense, b []float64, ridge float64, maxTries int) ([]float64, error) {
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	n := a.Rows
+	if s.work == nil || cap(s.work.Data) < n*n {
+		s.work = NewDense(n, n)
+		s.l = make([]float64, n*n)
+		s.x = make([]float64, n)
+	}
+	s.work.Rows, s.work.Cols = n, n
+	s.work.Data = s.work.Data[:n*n]
+	s.l = s.l[:n*n]
+	s.x = s.x[:n]
+	copy(s.work.Data, a.Data)
+	for try := 0; try < maxTries; try++ {
+		if err := choleskyFactor(s.work, s.l); err == nil {
+			ch := Cholesky{n: n, l: s.l}
+			return ch.SolveInto(b, s.x), nil
+		}
+		// Add (more) ridge and retry.
+		scale := ridge * math.Pow(10, float64(try))
+		copy(s.work.Data, a.Data)
+		for i := 0; i < n; i++ {
+			s.work.Data[i*n+i] += scale * (1 + math.Abs(a.At(i, i)))
+		}
+	}
+	return nil, ErrSingular
 }
 
 // SolveSPD solves A x = b for symmetric positive definite A, adding a ridge
 // term ridge*I before factoring if the bare factorization fails. It retries
 // with geometrically increasing ridge up to maxTries times. This is the
 // Newton-step workhorse: near-singular Hessians get regularized rather than
-// aborting the solve.
+// aborting the solve. Loops should hold an SPDSolver instead to avoid the
+// per-call allocations.
 func SolveSPD(a *Dense, b []float64, ridge float64, maxTries int) ([]float64, error) {
-	if ridge <= 0 {
-		ridge = 1e-12
+	var s SPDSolver
+	x, err := s.Solve(a, b, ridge, maxTries)
+	if err != nil {
+		return nil, err
 	}
-	work := a.Clone()
-	for try := 0; try < maxTries; try++ {
-		ch, err := NewCholesky(work)
-		if err == nil {
-			return ch.Solve(b), nil
-		}
-		// Add (more) ridge and retry.
-		scale := ridge * math.Pow(10, float64(try))
-		copy(work.Data, a.Data)
-		for i := 0; i < work.Rows; i++ {
-			work.Data[i*work.Cols+i] += scale * (1 + math.Abs(a.At(i, i)))
-		}
-	}
-	return nil, ErrSingular
+	return x, nil
 }

@@ -35,6 +35,39 @@ func SymEigen(a *Dense, wantVecs bool) (eig []float64, vecs *Dense) {
 		}
 	}
 
+	jacobiDiagonalize(w, v)
+
+	eig = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = w.At(i, i)
+	}
+	if !wantVecs {
+		sort.Float64s(eig)
+		return eig, nil
+	}
+	// Sort eigenpairs ascending by eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return eig[idx[a]] < eig[idx[b]] })
+	sortedEig := make([]float64, n)
+	sortedV := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedEig[newCol] = eig[oldCol]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedEig, sortedV
+}
+
+// jacobiDiagonalize runs cyclic Jacobi sweeps on the symmetric matrix w
+// in place until its off-diagonal mass vanishes, accumulating rotations
+// into v when non-nil. On return w's diagonal holds the (unsorted)
+// eigenvalues.
+func jacobiDiagonalize(w, v *Dense) {
+	n := w.Rows
 	const maxSweeps = 64
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := 0.0
@@ -80,7 +113,7 @@ func SymEigen(a *Dense, wantVecs bool) (eig []float64, vecs *Dense) {
 					w.Set(p, k, c*wpk-s*wqk)
 					w.Set(q, k, s*wpk+c*wqk)
 				}
-				if wantVecs {
+				if v != nil {
 					for k := 0; k < n; k++ {
 						vkp := v.At(k, p)
 						vkq := v.At(k, q)
@@ -94,30 +127,45 @@ func SymEigen(a *Dense, wantVecs bool) (eig []float64, vecs *Dense) {
 			break
 		}
 	}
+}
 
-	eig = make([]float64, n)
+// Cond2SymWork is Cond2Sym evaluated in caller-provided scratch: work must
+// be an n×n matrix (its contents are overwritten), so condition screening
+// loops — basis selection probes one candidate moment at a time — run
+// without per-probe allocation.
+func Cond2SymWork(a, work *Dense) float64 {
+	if a.Rows != a.Cols {
+		panic("linalg: Cond2SymWork of non-square matrix")
+	}
+	n := a.Rows
+	if work.Rows != n || work.Cols != n {
+		panic("linalg: Cond2SymWork scratch dimension mismatch")
+	}
+	if n == 0 {
+		return 1
+	}
 	for i := 0; i < n; i++ {
-		eig[i] = w.At(i, i)
-	}
-	if !wantVecs {
-		sort.Float64s(eig)
-		return eig, nil
-	}
-	// Sort eigenpairs ascending by eigenvalue.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return eig[idx[a]] < eig[idx[b]] })
-	sortedEig := make([]float64, n)
-	sortedV := NewDense(n, n)
-	for newCol, oldCol := range idx {
-		sortedEig[newCol] = eig[oldCol]
-		for r := 0; r < n; r++ {
-			sortedV.Set(r, newCol, v.At(r, oldCol))
+		for j := 0; j <= i; j++ {
+			v := a.At(i, j)
+			work.Set(i, j, v)
+			work.Set(j, i, v)
 		}
 	}
-	return sortedEig, sortedV
+	jacobiDiagonalize(work, nil)
+	mn, mx := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		al := math.Abs(work.At(i, i))
+		if al < mn {
+			mn = al
+		}
+		if al > mx {
+			mx = al
+		}
+	}
+	if mn == 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
 }
 
 // Cond2Sym returns the 2-norm condition number |λ|max/|λ|min of a symmetric

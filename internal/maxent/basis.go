@@ -70,6 +70,12 @@ func (b *Basis) Dim() int { return 1 + b.K1 + b.K2 }
 // then the standard and log Chebyshev moments.
 func (b *Basis) Targets() []float64 {
 	d := make([]float64, b.Dim())
+	b.targetsInto(d)
+	return d
+}
+
+// targetsInto fills d (len Dim, zeroed) with the target moment vector.
+func (b *Basis) targetsInto(d []float64) {
 	d[0] = 1
 	for i := 1; i <= b.K1; i++ {
 		d[i] = b.Std.Cheby[i]
@@ -77,7 +83,6 @@ func (b *Basis) Targets() []float64 {
 	for j := 1; j <= b.K2; j++ {
 		d[b.K1+j] = b.Log.Cheby[j]
 	}
-	return d
 }
 
 // grid holds the evaluation grid shared by the objective, the selection
@@ -89,15 +94,21 @@ type grid struct {
 	b     [][]float64 // basis values: b[i][p] = m̃_i(u_p), i = 0..dim-1
 }
 
-// buildGrid evaluates all basis functions on an (n+1)-point Lobatto grid.
-// Rows for the primary-domain family are exact cosines; rows for the other
-// family go through the cross-domain map (exp or log).
+// buildGrid evaluates all basis functions on an (n+1)-point Lobatto grid
+// with freshly allocated storage (tests and one-off callers).
 func buildGrid(b *Basis, n int) *grid {
-	g := &grid{n: n, nodes: cheby.Nodes(n), w: cheby.ClenshawCurtisWeights(n)}
+	return buildGridWS(NewWorkspace(), b, n)
+}
+
+// buildGridWS is buildGrid drawing node and row storage from the workspace
+// arena. Rows for the primary-domain family are exact cosines; rows for the
+// other family go through the cross-domain map (exp or log).
+func buildGridWS(ws *Workspace, b *Basis, n int) *grid {
+	g := &grid{n: n, nodes: cheby.CachedNodes(n), w: cheby.ClenshawCurtisWeights(n)}
 	dim := b.Dim()
-	g.b = make([][]float64, dim)
+	g.b = ws.rows(dim)
 	for i := range g.b {
-		g.b[i] = make([]float64, n+1)
+		g.b[i] = ws.floats(n + 1)
 	}
 	for p := 0; p <= n; p++ {
 		g.b[0][p] = 1
@@ -114,7 +125,7 @@ func buildGrid(b *Basis, n int) *grid {
 		}
 		if b.K2 > 0 {
 			// v_p = logScale(log(unscale(u_p))), clamped to [-1,1].
-			v := make([]float64, n+1)
+			v := ws.floats(n + 1)
 			for p, u := range g.nodes {
 				x := b.Std.Unscale(u)
 				if x <= 0 {
@@ -141,7 +152,7 @@ func buildGrid(b *Basis, n int) *grid {
 		}
 		if b.K1 > 0 {
 			// w_p = stdScale(exp(logUnscale(u_p))), clamped to [-1,1].
-			wv := make([]float64, n+1)
+			wv := ws.floats(n + 1)
 			for p, u := range g.nodes {
 				x := math.Exp(b.Log.Unscale(u))
 				wv[p] = clamp(b.Std.Scale(x), -1, 1)
@@ -171,7 +182,11 @@ func clamp(x, lo, hi float64) float64 {
 // uniform density ½ on [-1,1] — the reference point of the paper's
 // "favour moments closest to uniform" selection heuristic.
 func (g *grid) uniformExpectations() []float64 {
-	out := make([]float64, len(g.b))
+	return g.uniformExpectationsInto(make([]float64, len(g.b)))
+}
+
+// uniformExpectationsInto is uniformExpectations into a caller buffer.
+func (g *grid) uniformExpectationsInto(out []float64) []float64 {
 	for i, row := range g.b {
 		s := 0.0
 		for p, wp := range g.w {
@@ -186,8 +201,14 @@ func (g *grid) uniformExpectations() []float64 {
 // rows given by idx. This is the Hessian at the uniform density up to a
 // constant factor, used for condition-number screening (§4.3.1).
 func (g *grid) gram(idx []int) *linalg.Dense {
+	out := linalg.NewDense(len(idx), len(idx))
+	g.gramInto(idx, out)
+	return out
+}
+
+// gramInto fills the caller-provided len(idx)×len(idx) matrix.
+func (g *grid) gramInto(idx []int, out *linalg.Dense) {
 	m := len(idx)
-	out := linalg.NewDense(m, m)
 	for a := 0; a < m; a++ {
 		ra := g.b[idx[a]]
 		for bcol := a; bcol < m; bcol++ {
@@ -200,7 +221,6 @@ func (g *grid) gram(idx []int) *linalg.Dense {
 			out.Set(bcol, a, s)
 		}
 	}
-	return out
 }
 
 func (b *Basis) validate() error {

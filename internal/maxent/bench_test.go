@@ -1,0 +1,80 @@
+package maxent
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchSketch builds the lognormal sketch the solver benchmarks run on:
+// long-tailed data that selects a mixed std+log basis, the representative
+// serving workload.
+func benchSketch() *core.Sketch {
+	rng := rand.New(rand.NewPCG(7, 9))
+	sk := core.New(core.DefaultK)
+	for i := 0; i < 20000; i++ {
+		sk.Add(math.Exp(rng.NormFloat64()))
+	}
+	return sk
+}
+
+// BenchmarkSolveSketch measures one full cold quantile solve — basis
+// selection plus the Newton solve — the hot path behind every uncached
+// quantile estimate. The bytes/op figure is the workspace-pooling target
+// tracked in BENCH_baseline.json.
+func BenchmarkSolveSketch(b *testing.B) {
+	sk := benchSketch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := SolveSketch(sk, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if q := sol.Quantile(0.5); math.IsNaN(q) {
+			b.Fatal("NaN quantile")
+		}
+	}
+}
+
+// BenchmarkSolveWarm measures the same solve seeded with the θ of a prior
+// solve of the same sketch — the best case for warm starting (adjacent
+// sliding-window positions approach it). The iters/op metric is the
+// warm-vs-cold comparison recorded in BENCH_baseline.json.
+func BenchmarkSolveWarm(b *testing.B) {
+	sk := benchSketch()
+	cold, err := SolveSketch(sk, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	iters := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := SolveSketch(sk, Options{Theta0: cold.Theta})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += sol.Iterations
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+}
+
+// BenchmarkSolveCold is BenchmarkSolveWarm without the seed, reporting the
+// cold iteration count for the warm-vs-cold ratio.
+func BenchmarkSolveCold(b *testing.B) {
+	sk := benchSketch()
+	iters := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := SolveSketch(sk, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += sol.Iterations
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+}

@@ -22,6 +22,12 @@ const selectionGrid = 64
 //     Chebyshev moment is closest to its uniform-distribution expectation,
 //     subject to the Gram/Hessian condition number staying below κmax.
 func SelectBasis(sk *core.Sketch, opts Options) (Basis, error) {
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	return ws.SelectBasis(sk, opts)
+}
+
+func selectBasisWS(ws *Workspace, sk *core.Sketch, opts Options) (Basis, error) {
 	opts.defaults()
 	kStd, kLog := sk.StableOrders()
 	if kStd < 1 {
@@ -48,14 +54,17 @@ func SelectBasis(sk *core.Sketch, opts Options) (Basis, error) {
 
 	// Build the full candidate basis once; selection works on row subsets.
 	full := Basis{Primary: primary, K1: kStd, K2: kLog, Std: std, Log: logStd}
-	g := buildGrid(&full, selectionGrid)
-	uni := g.uniformExpectations()
-	targets := full.Targets()
+	g := buildGridWS(ws, &full, selectionGrid)
+	dim := full.Dim()
+	uni := g.uniformExpectationsInto(ws.floats(dim))
+	targets := ws.floats(dim)
+	full.targetsInto(targets)
 
 	// scores[i]: distance of moment i from its uniform expectation.
 	score := func(row int) float64 { return math.Abs(targets[row] - uni[row]) }
 
-	rows := []int{0} // always include the normalization row
+	rows := make([]int, 1, dim) // rows[0] = 0: always include the normalization row
+	trial := make([]int, 0, dim)
 	k1, k2 := 0, 0
 	for {
 		type cand struct {
@@ -63,24 +72,31 @@ func SelectBasis(sk *core.Sketch, opts Options) (Basis, error) {
 			isLog bool
 			sc    float64
 		}
-		var cands []cand
+		var cands [2]cand
+		nc := 0
 		if k1 < kStd {
-			cands = append(cands, cand{row: 1 + k1, isLog: false, sc: score(1 + k1)})
+			cands[nc] = cand{row: 1 + k1, isLog: false, sc: score(1 + k1)}
+			nc++
 		}
 		if k2 < kLog {
-			cands = append(cands, cand{row: 1 + kStd + k2, isLog: true, sc: score(1 + kStd + k2)})
+			cands[nc] = cand{row: 1 + kStd + k2, isLog: true, sc: score(1 + kStd + k2)}
+			nc++
 		}
-		if len(cands) == 0 {
+		if nc == 0 {
 			break
 		}
-		if len(cands) == 2 && cands[1].sc < cands[0].sc {
+		if nc == 2 && cands[1].sc < cands[0].sc {
 			cands[0], cands[1] = cands[1], cands[0]
 		}
 		advanced := false
-		for _, c := range cands {
-			trial := append(append([]int{}, rows...), c.row)
-			if cond := linalg.Cond2Sym(g.gram(trial)); cond <= opts.MaxCond {
-				rows = trial
+		for _, c := range cands[:nc] {
+			trial = append(append(trial[:0], rows...), c.row)
+			m := len(trial)
+			gram := linalg.Dense{Rows: m, Cols: m, Data: ws.floats(m * m)}
+			work := linalg.Dense{Rows: m, Cols: m, Data: ws.floats(m * m)}
+			g.gramInto(trial, &gram)
+			if cond := linalg.Cond2SymWork(&gram, &work); cond <= opts.MaxCond {
+				rows = append(rows[:0], trial...)
 				if c.isLog {
 					k2++
 				} else {
@@ -116,16 +132,10 @@ func SelectBasis(sk *core.Sketch, opts Options) (Basis, error) {
 
 // SolveSketch selects a basis for the sketch and solves the maximum-entropy
 // problem. Degenerate sketches (empty range) short-circuit to a point mass.
+// Selection and solve share one pooled Workspace, so steady-state calls
+// allocate little beyond the returned Solution.
 func SolveSketch(sk *core.Sketch, opts Options) (*Solution, error) {
-	if sk.IsEmpty() {
-		return nil, core.ErrEmpty
-	}
-	if sk.Min == sk.Max {
-		return PointMass(sk.Min), nil
-	}
-	b, err := SelectBasis(sk, opts)
-	if err != nil {
-		return nil, err
-	}
-	return Solve(b, opts)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	return ws.SolveSketch(sk, opts)
 }

@@ -29,6 +29,17 @@ type Options struct {
 	// MaxRetries bounds how many times the solver drops the least-uniform
 	// moment and retries after a convergence failure. Default 2.
 	MaxRetries int
+	// Theta0 warm-starts Newton from a previous solution's coefficient
+	// vector — typically the θ solved for an adjacent sliding-window
+	// position or an earlier epoch of the same rollup. It is validated
+	// against the selected basis: a length that does not match the basis
+	// dimension, or any non-finite component, silently falls back to the
+	// cold start, and if the warm-seeded solve diverges the solver retries
+	// cold before shrinking the basis. The slice is never mutated.
+	Theta0 []float64
+	// NoWarmStart ignores Theta0 entirely — for baselines and A/B
+	// measurement of the warm-start win.
+	NoWarmStart bool
 }
 
 func (o *Options) defaults() {
@@ -67,11 +78,18 @@ type Solution struct {
 	Basis Basis
 	Theta []float64
 	// Iterations is the total Newton iteration count across grid levels
-	// and retries; FuncEvals counts objective evaluations.
+	// and retries — including iterations spent in failed attempts (a
+	// diverging warm seed, a shrunk-basis retry), so warm-vs-cold
+	// comparisons account for wasted work; FuncEvals counts objective
+	// evaluations the same way.
 	Iterations int
 	FuncEvals  int
 	// GridUsed is the final Clenshaw–Curtis grid order.
 	GridUsed int
+	// Warm reports whether the accepted solve was seeded from
+	// Options.Theta0 (false when the seed was rejected or diverged and the
+	// solver fell back to a cold start).
+	Warm bool
 
 	coeffs []float64 // Chebyshev coefficients of the density over u
 	cdf    []float64 // antiderivative coefficients, F(-1) = 0
@@ -92,11 +110,25 @@ type potential struct {
 
 	// density cache keyed on the exact θ contents
 	lastTheta []float64
+	hasLast   bool
 	dens      []float64
+	wd        []float64 // weighted-density scratch for the Hessian
 }
 
-func newPotential(g *grid, d []float64) *potential {
-	return &potential{g: g, d: d, dens: make([]float64, g.n+1)}
+// newPotential builds the discretized objective; ws supplies the density
+// and Hessian scratch buffers (nil allocates them directly).
+func newPotential(g *grid, d []float64, ws *Workspace) *potential {
+	p := &potential{g: g, d: d}
+	if ws != nil {
+		p.dens = ws.floats(g.n + 1)
+		p.wd = ws.floats(g.n + 1)
+		p.lastTheta = ws.floats(len(d))
+	} else {
+		p.dens = make([]float64, g.n+1)
+		p.wd = make([]float64, g.n+1)
+		p.lastTheta = make([]float64, len(d))
+	}
+	return p
 }
 
 func (p *potential) Dim() int { return len(p.d) }
@@ -104,7 +136,7 @@ func (p *potential) Dim() int { return len(p.d) }
 // density fills p.dens with exp(Σ θ_i m̃_i(u_p)); values that overflow
 // become +Inf, which the line search rejects naturally.
 func (p *potential) density(theta []float64) []float64 {
-	if p.lastTheta != nil && equalVec(p.lastTheta, theta) {
+	if p.hasLast && equalVec(p.lastTheta, theta) {
 		return p.dens
 	}
 	n := p.g.n
@@ -115,10 +147,8 @@ func (p *potential) density(theta []float64) []float64 {
 		}
 		p.dens[pt] = math.Exp(s)
 	}
-	if p.lastTheta == nil {
-		p.lastTheta = make([]float64, len(theta))
-	}
 	copy(p.lastTheta, theta)
+	p.hasLast = true
 	return p.dens
 }
 
@@ -161,7 +191,7 @@ func (p *potential) Gradient(theta, grad []float64) {
 func (p *potential) Hessian(theta []float64, h *linalg.Dense) {
 	dens := p.density(theta)
 	dim := len(theta)
-	wd := make([]float64, len(dens))
+	wd := p.wd
 	for pt, w := range p.g.w {
 		wd[pt] = w * dens[pt]
 	}
@@ -179,8 +209,16 @@ func (p *potential) Hessian(theta []float64, h *linalg.Dense) {
 	}
 }
 
-// Solve finds the maximum-entropy density for the given basis.
+// Solve finds the maximum-entropy density for the given basis. Scratch
+// memory comes from a pooled Workspace, so steady-state solves allocate
+// little beyond the returned Solution.
 func Solve(b Basis, opts Options) (*Solution, error) {
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	return ws.Solve(b, opts)
+}
+
+func solveWS(ws *Workspace, b Basis, opts Options) (*Solution, error) {
 	opts.defaults()
 	if err := b.validate(); err != nil {
 		return nil, err
@@ -188,13 +226,34 @@ func Solve(b Basis, opts Options) (*Solution, error) {
 	sol := &Solution{Basis: b}
 	setSolutionRange(sol, &b)
 
+	// Warm-started attempt first: a validated Theta0 seeds Newton directly;
+	// if the seed diverges (stale θ from a very different window) the cold
+	// path below retries from scratch, so a bad seed can degrade speed but
+	// never the answer.
+	// Iterations burned in failed attempts (a diverging warm seed, a
+	// shrunk-basis retry) are carried into the accepted solution's
+	// counters, so reported totals reflect the work actually done.
+	wastedIter, wastedEvals := 0, 0
+	if warm := warmTheta(&opts, b.Dim()); warm != nil {
+		s, iters, evals, err := solveOnce(ws, b, opts, sol, warm)
+		if err == nil {
+			s.Warm = true
+			return s, nil
+		}
+		wastedIter, wastedEvals = iters, evals
+	}
+
 	basis := b
 	var lastErr error
 	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
-		s, err := solveOnce(basis, opts, sol)
+		s, iters, evals, err := solveOnce(ws, basis, opts, sol, nil)
 		if err == nil {
+			s.Iterations += wastedIter
+			s.FuncEvals += wastedEvals
 			return s, nil
 		}
+		wastedIter += iters
+		wastedEvals += evals
 		lastErr = err
 		// Drop the highest term of the larger family and retry: infeasible
 		// or precision-damaged high moments are the usual culprit.
@@ -213,19 +272,42 @@ func Solve(b Basis, opts Options) (*Solution, error) {
 	return nil, lastErr
 }
 
-func solveOnce(b Basis, opts Options, proto *Solution) (*Solution, error) {
-	d := b.Targets()
-	theta := make([]float64, b.Dim())
-	theta[0] = math.Log(0.5) // start at the uniform density on [-1,1]
+// warmTheta validates opts.Theta0 against the basis dimension, returning
+// nil (cold start) on mismatch, non-finite components, or NoWarmStart.
+func warmTheta(opts *Options, dim int) []float64 {
+	if opts.NoWarmStart || len(opts.Theta0) != dim {
+		return nil
+	}
+	for _, v := range opts.Theta0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+	}
+	return opts.Theta0
+}
+
+// solveOnce runs one solve attempt, returning the Newton iterations and
+// objective evaluations it consumed whether or not it succeeded — failed
+// attempts' counts fold into the accepted solution's totals.
+func solveOnce(ws *Workspace, b Basis, opts Options, proto *Solution, warm []float64) (*Solution, int, int, error) {
+	d := ws.floats(b.Dim())
+	b.targetsInto(d)
+	theta := ws.floats(b.Dim())
+	if warm != nil {
+		copy(theta, warm)
+	} else {
+		theta[0] = math.Log(0.5) // start at the uniform density on [-1,1]
+	}
 
 	totalIter, totalEvals := 0, 0
 	n := opts.GridSize
 	for {
-		g := buildGrid(&b, n)
-		pot := newPotential(g, d)
+		g := buildGridWS(ws, &b, n)
+		pot := newPotential(g, d, ws)
 		res, err := optimize.Newton(pot, theta, optimize.NewtonOptions{
 			GradTol: opts.GradTol,
 			MaxIter: opts.MaxIter,
+			Work:    &ws.newton,
 		})
 		totalIter += res.Iterations
 		totalEvals += res.FuncEvals
@@ -233,21 +315,21 @@ func solveOnce(b Basis, opts Options, proto *Solution) (*Solution, error) {
 			if err == nil {
 				err = ErrNotConverged
 			}
-			return nil, fmt.Errorf("maxent: grid %d: %w", n, err)
+			return nil, totalIter, totalEvals, fmt.Errorf("maxent: grid %d: %w", n, err)
 		}
 		copy(theta, res.X)
 
 		if n >= opts.MaxGrid {
-			return finishSolution(b, g, pot, theta, totalIter, totalEvals, proto), nil
+			return finishSolution(ws, b, g, pot, theta, totalIter, totalEvals, proto), totalIter, totalEvals, nil
 		}
 		// Validate on a finer grid: if the converged θ's residual holds up,
 		// the quadrature was already accurate enough.
-		fine := buildGrid(&b, 2*n)
-		finePot := newPotential(fine, d)
-		grad := make([]float64, b.Dim())
+		fine := buildGridWS(ws, &b, 2*n)
+		finePot := newPotential(fine, d, ws)
+		grad := ws.floats(b.Dim())
 		finePot.Gradient(theta, grad)
 		if linalg.NormInf(grad) <= 100*opts.GradTol {
-			return finishSolution(b, fine, finePot, theta, totalIter, totalEvals, proto), nil
+			return finishSolution(ws, b, fine, finePot, theta, totalIter, totalEvals, proto), totalIter, totalEvals, nil
 		}
 		n *= 2
 	}
@@ -264,10 +346,12 @@ func setSolutionRange(sol *Solution, b *Basis) {
 	}
 }
 
-func finishSolution(b Basis, g *grid, pot *potential, theta []float64, iters, evals int, proto *Solution) *Solution {
+func finishSolution(ws *Workspace, b Basis, g *grid, pot *potential, theta []float64, iters, evals int, proto *Solution) *Solution {
 	sol := &Solution{
-		Basis:      b,
-		Theta:      theta,
+		Basis: b,
+		// theta lives in workspace arena memory; the Solution outlives the
+		// solve, so it gets its own copy.
+		Theta:      append([]float64(nil), theta...),
 		Iterations: iters,
 		FuncEvals:  evals,
 		GridUsed:   g.n,
@@ -276,8 +360,10 @@ func finishSolution(b Basis, g *grid, pot *potential, theta []float64, iters, ev
 	}
 	dens := pot.density(theta)
 	// Samples are ordered by node index (u from +1 down to -1), which is
-	// exactly the ordering Interpolate expects.
-	sol.coeffs = cheby.Interpolate(dens)
+	// exactly the ordering Interpolate expects. The interpolation's FFT
+	// scratch is reused; the returned coefficient vectors are fresh and
+	// safe for the Solution to retain.
+	sol.coeffs = cheby.InterpolateScratch(dens, ws.fftScratch(2*g.n))
 	sol.cdf = cheby.Antiderivative(sol.coeffs)
 	sol.norm = cheby.Eval(sol.cdf, 1)
 	if sol.norm <= 0 || math.IsNaN(sol.norm) {

@@ -373,7 +373,7 @@ func TestSolutionMomentsMatchTargets(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := buildGrid(&sol.Basis, sol.GridUsed)
-	pot := newPotential(g, sol.Basis.Targets())
+	pot := newPotential(g, sol.Basis.Targets(), nil)
 	grad := make([]float64, sol.Basis.Dim())
 	pot.Gradient(sol.Theta, grad)
 	if r := linalg.NormInf(grad); r > 1e-8 {

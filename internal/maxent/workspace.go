@@ -1,0 +1,122 @@
+package maxent
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+)
+
+// Workspace holds every scratch buffer a maximum-entropy solve needs — the
+// Clenshaw–Curtis grids and basis rows, the potential's density and Hessian
+// scratch, the Newton iterate/gradient/Cholesky working set, and the FFT
+// buffer behind the final Chebyshev interpolation. Buffers are arena-style:
+// each solve slices them out of one backing array that is rewound (not
+// freed) at the next solve, so a warm workspace performs no internal
+// allocations — only the returned Solution's own coefficient vectors are
+// freshly allocated.
+//
+// A Workspace is not safe for concurrent use. The package-level Solve,
+// SolveSketch and SelectBasis draw workspaces from an internal sync.Pool,
+// so ordinary callers get the reuse for free; hold an explicit Workspace
+// only to pin one to a dedicated solver loop.
+type Workspace struct {
+	f     []float64 // float arena
+	fo    int       // arena offset
+	fneed int       // high-water mark of the current solve
+
+	rh     [][]float64 // row-header arena for grid basis matrices
+	rho    int
+	rhneed int
+
+	z []complex128 // FFT scratch for the final interpolation
+
+	newton optimize.NewtonWorkspace
+}
+
+// NewWorkspace returns an empty workspace. Buffers are sized lazily: the
+// first solve allocates, later solves of similar shape do not.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// reset rewinds the arena, growing the backing arrays to the previous
+// solve's high-water mark so the coming solve runs allocation-free.
+func (w *Workspace) reset() {
+	if w.fneed > len(w.f) {
+		w.f = make([]float64, w.fneed)
+	}
+	if w.rhneed > len(w.rh) {
+		w.rh = make([][]float64, w.rhneed)
+	}
+	w.fo, w.fneed = 0, 0
+	w.rho, w.rhneed = 0, 0
+}
+
+// floats hands out a zeroed float slice from the arena, falling back to a
+// plain allocation when the arena is exhausted (the overflow is recorded so
+// the next reset sizes the arena up).
+func (w *Workspace) floats(n int) []float64 {
+	w.fneed += n
+	if w.fo+n > len(w.f) {
+		return make([]float64, n)
+	}
+	s := w.f[w.fo : w.fo+n : w.fo+n]
+	w.fo += n
+	clear(s)
+	return s
+}
+
+// rows hands out a row-header slice from the arena.
+func (w *Workspace) rows(n int) [][]float64 {
+	w.rhneed += n
+	if w.rho+n > len(w.rh) {
+		return make([][]float64, n)
+	}
+	s := w.rh[w.rho : w.rho+n : w.rho+n]
+	w.rho += n
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// fftScratch returns a complex scratch buffer of length ≥ n, reused across
+// solves.
+func (w *Workspace) fftScratch(n int) []complex128 {
+	if cap(w.z) < n {
+		w.z = make([]complex128, n)
+	}
+	return w.z[:n]
+}
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// Solve finds the maximum-entropy density for the given basis using this
+// workspace's buffers.
+func (w *Workspace) Solve(b Basis, opts Options) (*Solution, error) {
+	w.reset()
+	return solveWS(w, b, opts)
+}
+
+// SolveSketch selects a basis for the sketch and solves the maximum-entropy
+// problem using this workspace's buffers.
+func (w *Workspace) SolveSketch(sk *core.Sketch, opts Options) (*Solution, error) {
+	w.reset()
+	if sk.IsEmpty() {
+		return nil, core.ErrEmpty
+	}
+	if sk.Min == sk.Max {
+		return PointMass(sk.Min), nil
+	}
+	b, err := selectBasisWS(w, sk, opts)
+	if err != nil {
+		return nil, err
+	}
+	return solveWS(w, b, opts)
+}
+
+// SelectBasis chooses the solver basis for a sketch using this workspace's
+// buffers; see the package-level SelectBasis for the heuristics.
+func (w *Workspace) SelectBasis(sk *core.Sketch, opts Options) (Basis, error) {
+	w.reset()
+	return selectBasisWS(w, sk, opts)
+}

@@ -52,6 +52,42 @@ type NewtonOptions struct {
 	MaxBack  int     // max backtracking halvings per step (default 60)
 	StepTol  float64 // stop when ∞-norm of the step is below this (default 1e-14)
 	Callback func(iter int, x []float64, val, gnorm float64)
+	// Work supplies reusable iteration buffers. When set, Newton performs
+	// no per-iteration allocations and Result.X aliases Work memory that is
+	// only valid until the workspace's next use — copy it if it must
+	// outlive the call. When nil, buffers are allocated per call and
+	// Result.X is freshly owned, as before.
+	Work *NewtonWorkspace
+}
+
+// NewtonWorkspace holds the scratch buffers of a Newton minimization — the
+// iterate, gradient, step direction, line-search probe, Hessian, and the
+// Cholesky solver's working set. A workspace grows to the largest dimension
+// it has seen and is reused across solves; it must not be used by two
+// minimizations concurrently.
+type NewtonWorkspace struct {
+	x, grad, neg, probe []float64
+	hess                *linalg.Dense
+	spd                 linalg.SPDSolver
+}
+
+// ensure sizes every buffer for dimension n.
+func (w *NewtonWorkspace) ensure(n int) {
+	if cap(w.x) < n {
+		w.x = make([]float64, n)
+		w.grad = make([]float64, n)
+		w.neg = make([]float64, n)
+		w.probe = make([]float64, n)
+	}
+	w.x = w.x[:n]
+	w.grad = w.grad[:n]
+	w.neg = w.neg[:n]
+	w.probe = w.probe[:n]
+	if w.hess == nil || cap(w.hess.Data) < n*n {
+		w.hess = linalg.NewDense(n, n)
+	}
+	w.hess.Rows, w.hess.Cols = n, n
+	w.hess.Data = w.hess.Data[:n*n]
 }
 
 func (o *NewtonOptions) defaults() {
@@ -78,10 +114,15 @@ func (o *NewtonOptions) defaults() {
 func Newton(obj HessianObjective, x0 []float64, opts NewtonOptions) (Result, error) {
 	opts.defaults()
 	n := obj.Dim()
-	x := make([]float64, n)
+	w := opts.Work
+	if w == nil {
+		w = &NewtonWorkspace{}
+	}
+	w.ensure(n)
+	x := w.x
 	copy(x, x0)
-	grad := make([]float64, n)
-	hess := linalg.NewDense(n, n)
+	grad := w.grad
+	hess := w.hess
 	res := Result{X: x}
 
 	val := obj.Value(x)
@@ -100,11 +141,11 @@ func Newton(obj HessianObjective, x0 []float64, opts NewtonOptions) (Result, err
 			return res, nil
 		}
 		obj.Hessian(x, hess)
-		negGrad := make([]float64, n)
+		negGrad := w.neg
 		for i := range grad {
 			negGrad[i] = -grad[i]
 		}
-		dir, err := linalg.SolveSPD(hess, negGrad, opts.Ridge, 10)
+		dir, err := w.spd.Solve(hess, negGrad, opts.Ridge, 10)
 		if err != nil {
 			// Hessian hopeless: fall back to steepest descent direction.
 			dir = negGrad
@@ -115,7 +156,7 @@ func Newton(obj HessianObjective, x0 []float64, opts NewtonOptions) (Result, err
 				dir[i] = -grad[i]
 			}
 		}
-		step, newVal, evals, lsErr := backtrack(obj, x, dir, val, grad, opts.MaxBack)
+		step, newVal, evals, lsErr := backtrackInto(obj, x, dir, val, grad, opts.MaxBack, w.probe)
 		res.FuncEvals += evals
 		if lsErr != nil {
 			res.Value = val
@@ -148,10 +189,14 @@ func Newton(obj HessianObjective, x0 []float64, opts NewtonOptions) (Result, err
 
 // backtrack performs an Armijo backtracking line search from x along dir.
 func backtrack(obj Objective, x, dir []float64, val float64, grad []float64, maxBack int) (step, newVal float64, evals int, err error) {
+	return backtrackInto(obj, x, dir, val, grad, maxBack, make([]float64, len(x)))
+}
+
+// backtrackInto is backtrack with a caller-provided probe buffer.
+func backtrackInto(obj Objective, x, dir []float64, val float64, grad []float64, maxBack int, probe []float64) (step, newVal float64, evals int, err error) {
 	const c1 = 1e-4
 	slope := linalg.Dot(grad, dir)
 	step = 1.0
-	probe := make([]float64, len(x))
 	for k := 0; k < maxBack; k++ {
 		for i := range x {
 			probe[i] = x[i] + step*dir[i]

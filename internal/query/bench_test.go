@@ -90,6 +90,38 @@ func BenchmarkBatch128GroupBySequential(b *testing.B) {
 	b.ReportMetric(float64(len(req.Queries))*float64(b.N)/b.Elapsed().Seconds(), "subqueries/s")
 }
 
+// BenchmarkBatch128GroupByCachedWarm measures the same 128-subquery batch
+// on an engine with the cross-request solve cache, after one warm-up
+// Execute: every selection is a cache hit, so the run prices the pure
+// cached-serving path (no merges, no solves) that a dashboard refreshing an
+// unchanged store pays. Compare against BenchmarkBatch128GroupByParallel
+// (the cold, cache-less run) for the cached-vs-uncached ratio recorded in
+// BENCH_baseline.json.
+func BenchmarkBatch128GroupByCachedWarm(b *testing.B) {
+	store := benchStore(b)
+	e := NewEngine(store, Config{SolveCache: DefaultSolveCacheSize})
+	req := benchRequest()
+	if _, qerr := e.Execute(context.Background(), req); qerr != nil {
+		b.Fatal(qerr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, qerr := e.Execute(context.Background(), req)
+		if qerr != nil {
+			b.Fatal(qerr)
+		}
+		if resp.Results[0].Error != nil {
+			b.Fatal(resp.Results[0].Error)
+		}
+	}
+	b.StopTimer()
+	if st := e.CacheStats(); st.Hits == 0 {
+		b.Fatalf("expected cache hits, got %+v", st)
+	}
+	b.ReportMetric(float64(len(req.Queries))*float64(b.N)/b.Elapsed().Seconds(), "subqueries/s")
+}
+
 // BenchmarkBatchSharedSelection measures the planner's selection dedup: 16
 // aggregation-heavy subqueries all over the same prefix rollup pay one
 // merge and one solve.

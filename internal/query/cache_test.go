@@ -1,0 +1,200 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func cacheTestStore(t *testing.T) *shard.Store {
+	t.Helper()
+	store := shard.New(shard.WithShards(4))
+	for g := 0; g < 4; g++ {
+		for k := 0; k < 3; k++ {
+			key := fmt.Sprintf("svc%d.host%d", g, k)
+			for i := 0; i < 200; i++ {
+				store.Add(key, float64(10+g)+float64(i%17)*0.5)
+			}
+		}
+	}
+	return store
+}
+
+func quantileRequest(sel Selection) *Request {
+	return &Request{Queries: []Subquery{{
+		ID:     "q",
+		Select: sel,
+		Aggregations: []Aggregation{
+			{Op: OpQuantiles, Phis: []float64{0.5, 0.9, 0.99}},
+			{Op: OpStats},
+		},
+	}}}
+}
+
+func mustExecute(t *testing.T, e *Engine, req *Request) *Response {
+	t.Helper()
+	resp, qerr := e.Execute(context.Background(), req)
+	if qerr != nil {
+		t.Fatalf("Execute: %v", qerr)
+	}
+	for _, r := range resp.Results {
+		if r.Error != nil {
+			t.Fatalf("subquery %q: %v", r.ID, r.Error)
+		}
+	}
+	return resp
+}
+
+func respJSON(t *testing.T, resp *Response) string {
+	t.Helper()
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSolveCacheHitsAndIdentity pins the cache contract: a repeated
+// identical request is a hit and its response is byte-identical both to the
+// first (cached-filling) response and to the response of a cache-less
+// engine over the same store.
+func TestSolveCacheHitsAndIdentity(t *testing.T) {
+	store := cacheTestStore(t)
+	cached := NewEngine(store, Config{SolveCache: 64})
+	plain := NewEngine(store, Config{})
+
+	prefix := "svc1."
+	req := quantileRequest(Selection{Prefix: &prefix})
+
+	first := respJSON(t, mustExecute(t, cached, req))
+	if st := cached.CacheStats(); st.Misses != 1 || st.Hits != 0 || st.Entries != 1 {
+		t.Fatalf("after first execute: %+v", st)
+	}
+	second := respJSON(t, mustExecute(t, cached, req))
+	if st := cached.CacheStats(); st.Hits != 1 {
+		t.Fatalf("after second execute: %+v", st)
+	}
+	if first != second {
+		t.Errorf("cached response differs from the response that filled it:\n%s\n%s", first, second)
+	}
+	uncached := respJSON(t, mustExecute(t, plain, req))
+	if first != uncached {
+		t.Errorf("cached response differs from a fresh solve:\n%s\n%s", first, uncached)
+	}
+	if st := plain.CacheStats(); st.Enabled {
+		t.Error("cache-less engine reports an enabled cache")
+	}
+}
+
+// TestSolveCacheInvalidation pins the invalidation contract: ingesting into
+// any key covered by a cached selection changes the store's mutation
+// version, so the next identical request misses and reflects the new data —
+// for exact-key, prefix, and group-by selections alike.
+func TestSolveCacheInvalidation(t *testing.T) {
+	prefix := "svc1."
+	level := 1
+	cases := []struct {
+		name    string
+		sel     Selection
+		covered string // key whose mutation must invalidate the entry
+	}{
+		{"key", Selection{Key: "svc1.host0"}, "svc1.host0"},
+		{"prefix", Selection{Prefix: &prefix}, "svc1.host2"},
+		{"group_by", Selection{Prefix: &prefix, GroupBy: &level}, "svc1.host1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := cacheTestStore(t)
+			e := NewEngine(store, Config{SolveCache: 64})
+			req := quantileRequest(tc.sel)
+
+			before := respJSON(t, mustExecute(t, e, req))
+			mustExecute(t, e, req)
+			st := e.CacheStats()
+			if st.Hits != 1 || st.Misses != 1 {
+				t.Fatalf("warmup counters: %+v", st)
+			}
+
+			// Mutate a covered key: the cached entry must not be served.
+			store.Add(tc.covered, 1e6)
+			after := respJSON(t, mustExecute(t, e, req))
+			st = e.CacheStats()
+			if st.Misses != 2 {
+				t.Fatalf("after covered-key ingest: %+v (stale hit?)", st)
+			}
+			if before == after {
+				t.Error("response unchanged after ingesting an outlier into a covered key")
+			}
+
+			// And the new state is itself cached and hit again.
+			mustExecute(t, e, req)
+			if st := e.CacheStats(); st.Hits != 2 {
+				t.Fatalf("post-invalidation re-fill: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSolveCacheEviction pins the LRU bound: distinct selections beyond the
+// capacity evict and are counted.
+func TestSolveCacheEviction(t *testing.T) {
+	store := shard.New(shard.WithShards(4))
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		for j := 0; j < 50; j++ {
+			store.Add(key, float64(i+j))
+		}
+	}
+	e := NewEngine(store, Config{SolveCache: 8})
+	for i := 0; i < 64; i++ {
+		mustExecute(t, e, quantileRequest(Selection{Key: fmt.Sprintf("k%02d", i)}))
+	}
+	st := e.CacheStats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions after 64 distinct selections into capacity %d: %+v", st.Capacity, st)
+	}
+	if st.Misses != 64 {
+		t.Fatalf("expected 64 misses: %+v", st)
+	}
+}
+
+// TestSolveCacheWindowedClock pins the windowed keying: with an advancing
+// clock, the same window selection must not be served from a pane-stale
+// entry once the current pane moves.
+func TestSolveCacheWindowedClock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	store := shard.New(
+		shard.WithShards(2),
+		shard.WithWindow(time.Second, 16),
+		shard.WithClock(func() time.Time { return now }),
+	)
+	for i := 0; i < 10; i++ {
+		store.AddAt("k", float64(i*i), now.Add(-time.Duration(i)*time.Second))
+	}
+	e := NewEngine(store, Config{SolveCache: 16})
+	req := quantileRequest(Selection{Key: "k", Window: &WindowSpec{Last: 4}})
+
+	first := respJSON(t, mustExecute(t, e, req))
+	mustExecute(t, e, req)
+	if st := e.CacheStats(); st.Hits != 1 {
+		t.Fatalf("same-pane repeat should hit: %+v", st)
+	}
+
+	// Advance the clock past a pane boundary: the trailing window now
+	// covers different panes, so serving the cached entry would be wrong.
+	now = now.Add(2 * time.Second)
+	second := respJSON(t, mustExecute(t, e, req))
+	if st := e.CacheStats(); st.Misses != 2 {
+		t.Fatalf("pane advance must invalidate: %+v", st)
+	}
+	if first == second {
+		t.Error("windowed response unchanged after the clock crossed a pane boundary")
+	}
+}

@@ -29,7 +29,12 @@
 //     default GOMAXPROCS).
 //   - Each rollup's maximum-entropy density is solved lazily and memoized,
 //     so quantiles, cdf and histogram aggregations of one selection share a
-//     single solve.
+//     single solve; sliding-window positions additionally warm-start each
+//     solve from the previous position's θ.
+//   - With Config.SolveCache, resolved selections — merged sketches plus
+//     their solved densities — are kept in a sharded bounded LRU across
+//     Execute calls, keyed on the store's mutation version so any ingest
+//     into covered keys invalidates the entry (see Engine.CacheStats).
 //   - The request context is honored: when the deadline passes, remaining
 //     subqueries fail with deadline_exceeded instead of running to
 //     completion.

@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -23,15 +24,24 @@ type Config struct {
 	Solver maxent.Options
 	// Workers bounds the executor's concurrency (default GOMAXPROCS).
 	Workers int
+	// SolveCache bounds the cross-request solve cache to this many cached
+	// rollups — a key or prefix selection weighs 1, a group-by or
+	// sliding-window selection one per result group (0 disables the
+	// cache). Cached entries are keyed on the store's mutation version, so
+	// they are correct across concurrent ingest; see Engine.CacheStats for
+	// the hit/miss/eviction counters.
+	SolveCache int
 }
 
 // Engine plans and executes batched query requests against a shard store.
 // All methods are safe for concurrent use.
 type Engine struct {
-	store   *shard.Store
-	sep     string
-	solver  maxent.Options
-	workers int
+	store     *shard.Store
+	sep       string
+	solver    maxent.Options
+	workers   int
+	cache     *solveCache // nil when disabled
+	solverSig string      // solver-options fingerprint baked into cache keys
 
 	statsMu      sync.Mutex
 	cascadeStats cascade.Stats
@@ -45,13 +55,26 @@ func NewEngine(store *shard.Store, cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		store:   store,
 		sep:     cfg.Separator,
 		solver:  cfg.Solver,
 		workers: cfg.Workers,
 	}
+	if cfg.SolveCache > 0 {
+		e.cache = newSolveCache(cfg.SolveCache)
+		// The engine's solver options are fixed for its lifetime, but the
+		// fingerprint keeps entries from ever being confused across engines
+		// or future per-request option overrides.
+		o := cfg.Solver
+		e.solverSig = fmt.Sprintf("%d;%d;%g;%g;%d;%d", o.GridSize, o.MaxGrid, o.GradTol, o.MaxCond, o.MaxIter, o.MaxRetries)
+	}
+	return e
 }
+
+// CacheStats snapshots the solve cache's counters (zero-valued with
+// Enabled=false when the cache is disabled).
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
 
 // CascadeStats returns the accumulated threshold-cascade counters.
 func (e *Engine) CascadeStats() cascade.Stats {
@@ -80,26 +103,38 @@ type task struct {
 }
 
 // group is one materialized rollup with a lazily solved, memoized
-// maximum-entropy density. A group is only touched by the single task
-// goroutine that owns its selection, so the lazy fields need no lock.
+// maximum-entropy density. Groups produced by sliding-window selections are
+// chained through prev so each position's solve warm-starts from the
+// previous window's θ. The solve is guarded by a sync.Once because resolved
+// group sets can outlive their task: the solve cache shares them across
+// concurrent Engine.Execute calls.
 type group struct {
 	label  string
 	window *WindowRange // wall-clock span, window selections only
 	keys   int
 	sk     *core.Sketch
-	solved bool
+	prev   *group // previous sliding-window position, nil otherwise
+
+	once   sync.Once
 	sol    *maxent.Solution
 	solErr error
 }
 
 // solution returns the memoized maximum-entropy solution for the group,
 // solving on first use. Every aggregation that needs the density (quantiles,
-// cdf, histogram) shares this one solve.
+// cdf, histogram) shares this one solve. Window chains solve recursively so
+// position n seeds Newton from position n-1's θ; the chain is linear and
+// each link has its own Once, so the recursion is deadlock-free and each
+// position still solves exactly once.
 func (g *group) solution(opts maxent.Options) (*maxent.Solution, error) {
-	if !g.solved {
+	g.once.Do(func() {
+		if g.prev != nil {
+			if psol, perr := g.prev.solution(opts); perr == nil && psol != nil && len(psol.Theta) > 0 {
+				opts.Theta0 = psol.Theta
+			}
+		}
 		g.sol, g.solErr = maxent.SolveSketch(g.sk, opts)
-		g.solved = true
-	}
+	})
 	return g.sol, g.solErr
 }
 
@@ -198,8 +233,63 @@ func selectionKey(sel *Selection) string {
 	return base
 }
 
+// cacheKey builds the version-stamped cache key for a selection, or ""
+// when the selection is uncacheable (cache disabled, or a key selection
+// whose key is absent). The key concatenates the canonical selection key,
+// the covered data's mutation version, the current pane (windowed
+// selections read the ring relative to the clock), and the solver-options
+// fingerprint — so any ingest into covered data, pane turnover, or solver
+// reconfiguration produces a different key and the stale entry ages out.
+//
+// The version components MUST be read before the selection is resolved: a
+// mutation racing the resolve then leaves the result stamped with the older
+// version, which the next lookup — seeing the newer version — misses, so a
+// torn read can be served once but never cached as current.
+func (e *Engine) cacheKey(sel *Selection) string {
+	if e.cache == nil {
+		return ""
+	}
+	var ver uint64
+	if sel.Key != "" {
+		v, ok := e.store.KeyVersion(sel.Key)
+		if !ok {
+			return "" // absent key: the not-found path is cheap, don't cache it
+		}
+		ver = v
+	} else {
+		ver = e.store.Version()
+	}
+	var pane int64
+	if sel.Window != nil {
+		pane, _ = e.store.CurrentPane()
+	}
+	// The suffix's leading NUL cannot collide with crafted key bytes: the
+	// remainder (hex digits, commas, the solver fingerprint) is NUL-free,
+	// while any suffix embedded in a key is followed by this NUL.
+	return selectionKey(sel) + "\x00" +
+		strconv.FormatUint(ver, 16) + "," +
+		strconv.FormatInt(pane, 16) + "," + e.solverSig
+}
+
+// resolveCached fronts resolveSelection with the cross-request solve cache.
+// Only successful resolutions are cached; errors (not found, canceled) stay
+// uncached.
+func (e *Engine) resolveCached(ctx context.Context, sel *Selection) ([]*group, *Error) {
+	ck := e.cacheKey(sel)
+	if ck != "" {
+		if groups, ok := e.cache.get(ck); ok {
+			return groups, nil
+		}
+	}
+	groups, err := e.resolveSelection(ctx, sel)
+	if err == nil && ck != "" {
+		e.cache.put(ck, groups)
+	}
+	return groups, err
+}
+
 func (e *Engine) runTask(ctx context.Context, t *task, req *Request, results []Result) {
-	groups, selErr := e.resolveSelection(ctx, &t.sel)
+	groups, selErr := e.resolveCached(ctx, &t.sel)
 	for _, qi := range t.subqueries {
 		if selErr == nil {
 			if err := ctx.Err(); err != nil {

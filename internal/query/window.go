@@ -196,6 +196,9 @@ func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, erro
 				return nil, err
 			}
 			if !g.sk.IsEmpty() {
+				if n := len(groups); n > 0 {
+					g.prev = groups[n-1]
+				}
 				groups = append(groups, g)
 			}
 		}
@@ -219,6 +222,11 @@ func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, erro
 			sk.TightenRange(winLo, winHi)
 			g := &group{sk: sk}
 			g.window, g.label = windowMeta(ps.Start+int64(a), width, ps.Width)
+			// Chain positions so each solve warm-starts from the previous
+			// window's θ (they share width-step panes).
+			if n := len(groups); n > 0 {
+				g.prev = groups[n-1]
+			}
 			groups = append(groups, g)
 		}
 		if a+step+width > hi {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,14 +34,15 @@ const restoreBodyFactor = 32
 // directly; the legacy GET endpoints translate to single-subquery batches.
 // It implements http.Handler; construct with New.
 type Server struct {
-	store   *shard.Store
-	engine  *query.Engine
-	mux     *http.ServeMux
-	sep     string
-	maxBody int64
-	solver  maxent.Options
-	workers int
-	start   time.Time
+	store      *shard.Store
+	engine     *query.Engine
+	mux        *http.ServeMux
+	sep        string
+	maxBody    int64
+	solver     maxent.Options
+	workers    int
+	solveCache int
+	start      time.Time
 
 	batches sync.Pool
 }
@@ -71,22 +73,37 @@ func WithQueryWorkers(n int) ServerOption {
 	return func(s *Server) { s.workers = n }
 }
 
+// WithSolveCache bounds the engine's cross-request solve cache to n
+// resolved selections (default query.DefaultSolveCacheSize; n <= 0
+// disables it). Hit/miss/eviction counters are surfaced on /stats and
+// /v1/stats.
+func WithSolveCache(n int) ServerOption {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.solveCache = n
+	}
+}
+
 // New wires a Server around store.
 func New(store *shard.Store, opts ...ServerOption) *Server {
 	s := &Server{
-		store:   store,
-		mux:     http.NewServeMux(),
-		sep:     ".",
-		maxBody: DefaultMaxBodyBytes,
-		start:   time.Now(),
+		store:      store,
+		mux:        http.NewServeMux(),
+		sep:        ".",
+		maxBody:    DefaultMaxBodyBytes,
+		solveCache: query.DefaultSolveCacheSize,
+		start:      time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.engine = query.NewEngine(store, query.Config{
-		Separator: s.sep,
-		Solver:    s.solver,
-		Workers:   s.workers,
+		Separator:  s.sep,
+		Solver:     s.solver,
+		Workers:    s.workers,
+		SolveCache: s.solveCache,
 	})
 	s.batches.New = func() any { return store.NewBatch() }
 
@@ -100,6 +117,7 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /threshold", s.handleThreshold)
 	s.mux.HandleFunc("GET /keys", s.handleKeys)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /restore", s.handleRestore)
@@ -251,23 +269,52 @@ func decodeJSONBody(r io.Reader, batch *shard.Batch) error {
 	return nil
 }
 
+// lineBufPool recycles the NDJSON scanner's initial line buffers across
+// requests, so steady-state ingest pays no per-request buffer allocation.
+// The scanner grows past 64 KiB only for oversized lines (huge keys); the
+// pooled original stays reusable either way.
+var lineBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64*1024)
+		return &b
+	},
+}
+
 // decodeNDJSON accepts one {"key":...,"value":...} object per line. The
 // line buffer leaves headroom above MaxKeyLen so a maximum-length key is
 // rejected by the same key-length check as the JSON-array path, not by an
 // opaque scanner error.
+//
+// This is the ingest hot path, tuned to avoid per-observation allocations:
+// lines are decoded straight from the scanner's byte view (no intermediate
+// string), and the value field decodes into one reused float via a NaN
+// sentinel — JSON cannot express NaN, so a sentinel still in place after
+// decoding means the field was absent, which reports the same "missing
+// value" error as the enveloped path. Only the key string (retained by the
+// batch) and an explicit ts allocate per observation.
 func decodeNDJSON(r io.Reader, batch *shard.Batch) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), shard.MaxKeyLen+64*1024)
+	bufp := lineBufPool.Get().(*[]byte)
+	defer lineBufPool.Put(bufp)
+	sc.Buffer(*bufp, shard.MaxKeyLen+64*1024)
 	line := 0
+	var (
+		o   wireObservation
+		val float64
+	)
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
 			continue
 		}
-		var o wireObservation
-		if err := json.Unmarshal([]byte(text), &o); err != nil {
+		val = math.NaN()
+		o = wireObservation{Value: &val} // resets Key and TS; reuses val
+		if err := json.Unmarshal(text, &o); err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if o.Value != nil && math.IsNaN(*o.Value) {
+			o.Value = nil // sentinel untouched: the value field was absent
 		}
 		if err := o.check(); err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
@@ -302,6 +349,7 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
 }
 
+// handleStats serves both GET /stats and its alias GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.engine.CascadeStats()
 	resolved := map[string]int{}
@@ -318,6 +366,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries":  cs.Queries,
 			"resolved": resolved,
 		},
+		"solve_cache": s.engine.CacheStats(),
 	})
 }
 

@@ -17,6 +17,12 @@
 // bytes of copying) and run the maximum-entropy solver or the threshold
 // cascade on the clone outside it.
 //
+// Every key also carries a mutation version stamped from its stripe's
+// monotonic counter (KeyVersion); Version sums the stripe counters into a
+// lock-free store-wide fingerprint. Query-layer solve caches stamp entries
+// with these versions: a match guarantees the covered data is unchanged,
+// and delete/re-create or Restore can never resurrect an old version.
+//
 // With WithWindow the store gains a time dimension (§7.2.2): each key
 // keeps, alongside its all-time sketch, a ring of fixed-width time panes
 // plus a rolling "retained" sketch equal to the sum of the live panes.

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bounds"
@@ -35,19 +36,35 @@ type Observation struct {
 // entry is the per-key state: the all-time sketch every timeless query
 // reads, plus — on windowed stores — the ring of time panes behind the
 // windowed queries. ring is nil when the store has no panes.
+//
+// version is the key's mutation version: every Add into the entry stamps it
+// with a fresh draw from the stripe's monotonic counter. Query-layer solve
+// caches key their entries on it — a version match guarantees the key's
+// data (all-time sketch and panes alike) is unchanged since the cached
+// solve. Versions are process-monotonic, never reused: Restore re-stamps
+// every restored entry from the live counters (see Restore), so a cache
+// entry recorded before a restore — or before a delete/re-create of the
+// same key — can never falsely match.
 type entry struct {
-	all  *core.Sketch
-	ring *paneRing
+	all     *core.Sketch
+	ring    *paneRing
+	version uint64
 }
 
 // stripe is one lock-striped partition of the key space. The padding keeps
 // adjacent stripes on separate cache lines so uncontended locks on
 // neighbouring shards do not false-share.
+//
+// version is the stripe's monotonic mutation counter: bumped under the
+// stripe lock on every mutation (Add, batch flush, Delete, Reset, Restore)
+// but readable lock-free, so version-vector reads for cache keys never
+// contend with ingest.
 type stripe struct {
 	mu      sync.Mutex
 	entries map[string]*entry
-	count   float64  // observations ingested into this stripe
-	_       [40]byte // mutex(8) + map(8) + count(8) + 40 = one 64-byte line
+	count   float64       // observations ingested into this stripe
+	version atomic.Uint64 // monotonic mutation counter
+	_       [32]byte      // mutex(8) + map(8) + count(8) + version(8) + 32 = one 64-byte line
 }
 
 // Store is a sharded map from string keys to moments sketches. All methods
@@ -189,7 +206,7 @@ func (s *Store) entryLocked(st *stripe, key string) *entry {
 // (clock skew, or a hostile ingest body) lands in the current pane instead
 // of advancing the ring and expiring live panes. The stripe lock must be
 // held.
-func (s *Store) addLocked(e *entry, x float64, at time.Time, nowPane int64) {
+func (s *Store) addLocked(st *stripe, e *entry, x float64, at time.Time, nowPane int64) {
 	e.all.Add(x)
 	if e.ring != nil {
 		p := s.paneIndex(at)
@@ -198,6 +215,7 @@ func (s *Store) addLocked(e *entry, x float64, at time.Time, nowPane int64) {
 		}
 		e.ring.observe(p, x, s.k)
 	}
+	e.version = st.version.Add(1)
 }
 
 // Add accumulates one observation stamped with the store clock's now.
@@ -220,7 +238,7 @@ func (s *Store) AddAt(key string, x float64, at time.Time) {
 	}
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	s.addLocked(s.entryLocked(st, key), x, at, nowPane)
+	s.addLocked(st, s.entryLocked(st, key), x, at, nowPane)
 	st.count++
 	st.mu.Unlock()
 }
@@ -281,7 +299,7 @@ func (b *Batch) Flush() int {
 			if at.IsZero() {
 				at = now
 			}
-			b.store.addLocked(b.store.entryLocked(st, o.Key), o.Value, at, nowPane)
+			b.store.addLocked(st, b.store.entryLocked(st, o.Key), o.Value, at, nowPane)
 		}
 		st.count += float64(len(b.buckets[i]))
 		st.mu.Unlock()
@@ -502,6 +520,7 @@ func (s *Store) Delete(key string) bool {
 	if ok {
 		st.count -= e.all.Count
 		delete(st.entries, key)
+		st.version.Add(1)
 	}
 	return ok
 }
@@ -513,8 +532,38 @@ func (s *Store) Reset() {
 		st.mu.Lock()
 		st.entries = make(map[string]*entry)
 		st.count = 0
+		st.version.Add(1)
 		st.mu.Unlock()
 	}
+}
+
+// Version returns the sum of every stripe's mutation counter — a cheap,
+// lock-free fingerprint of the whole store's contents. Counters only ever
+// increase, so two equal Version reads bracket a span with no mutations:
+// any Add, Delete, Reset or Restore anywhere strictly increases the sum.
+// Query-layer caches stamp prefix-rollup results with it.
+func (s *Store) Version() uint64 {
+	var sum uint64
+	for i := range s.stripes {
+		sum += s.stripes[i].version.Load()
+	}
+	return sum
+}
+
+// KeyVersion returns the mutation version of a single key (ok is false when
+// the key is absent). The version is stamped from the owning stripe's
+// monotonic counter on every mutation of the key, so an equal KeyVersion
+// guarantees the key's sketch — and its time panes — are unchanged; a
+// deleted and re-created key always reports a strictly newer version.
+func (s *Store) KeyVersion(key string) (uint64, bool) {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.version, true
 }
 
 // Snapshot format: a "MDSS" magic, a format version, the store order, then
@@ -802,6 +851,18 @@ func (s *Store) Restore(r io.Reader) error {
 		}
 		st := &s.stripes[i]
 		st.mu.Lock()
+		// Carry mutation versions through the restore: the stripe counter
+		// bumps unconditionally — replacing a stripe's contents is a
+		// mutation even when the snapshot restores it to empty — and every
+		// restored entry is re-stamped from the live monotonic counter
+		// (which is never reset), so version history stays strictly
+		// increasing across snapshot round-trips and any pre-restore cache
+		// entry — whatever the snapshot holds — can never falsely match
+		// again.
+		st.version.Add(1)
+		for _, e := range entries {
+			e.version = st.version.Add(1)
+		}
 		st.entries = entries
 		st.count = count
 		st.mu.Unlock()

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKeyVersionMonotonic pins the per-key mutation version: absent keys
+// report none, every Add strictly increases the key's version, and a
+// deleted-then-recreated key never reuses an old version (the ABA guard
+// query caches rely on).
+func TestKeyVersionMonotonic(t *testing.T) {
+	s := New(WithShards(2))
+	if _, ok := s.KeyVersion("k"); ok {
+		t.Fatal("absent key reported a version")
+	}
+	s.Add("k", 1)
+	v1, ok := s.KeyVersion("k")
+	if !ok {
+		t.Fatal("present key reported no version")
+	}
+	s.Add("k", 2)
+	v2, _ := s.KeyVersion("k")
+	if v2 <= v1 {
+		t.Fatalf("version did not increase on Add: %d -> %d", v1, v2)
+	}
+
+	if !s.Delete("k") {
+		t.Fatal("delete failed")
+	}
+	s.Add("k", 3)
+	v3, _ := s.KeyVersion("k")
+	if v3 <= v2 {
+		t.Fatalf("recreated key reused an old version: %d after %d", v3, v2)
+	}
+
+	// Mutating another key leaves k's version alone — per-key granularity
+	// (only the mutated entry is re-stamped, whatever stripe it shares).
+	s.Add("other", 1)
+	if v, _ := s.KeyVersion("k"); v != v3 {
+		t.Fatalf("unrelated ingest changed key version: %d -> %d", v3, v)
+	}
+}
+
+// TestStoreVersionMonotonic pins the store-wide fingerprint: any mutation —
+// Add, batch flush, Delete, Reset, Restore — strictly increases it, and
+// reads do not.
+func TestStoreVersionMonotonic(t *testing.T) {
+	s := New(WithShards(2))
+	last := s.Version()
+	step := func(what string) {
+		t.Helper()
+		v := s.Version()
+		if v <= last {
+			t.Fatalf("%s did not increase store version: %d -> %d", what, last, v)
+		}
+		last = v
+	}
+
+	s.Add("a", 1)
+	step("Add")
+
+	b := s.NewBatch()
+	b.Add("a", 2)
+	b.Add("b", 3)
+	b.Flush()
+	step("Batch.Flush")
+
+	if _, _, err := s.MergePrefix(""); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Version(); v != last {
+		t.Fatalf("read-only rollup changed version: %d -> %d", last, v)
+	}
+
+	s.Delete("b")
+	step("Delete")
+
+	var snap bytes.Buffer
+	if err := s.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Version(); v != last {
+		t.Fatalf("snapshot changed version: %d -> %d", last, v)
+	}
+
+	if err := s.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	step("Restore")
+
+	// Restore re-stamps entries from the live counters: the restored key's
+	// version must be newer than anything seen before the restore.
+	if v, ok := s.KeyVersion("a"); !ok || v == 0 {
+		t.Fatalf("restored key version = %d, ok=%v", v, ok)
+	}
+
+	s.Reset()
+	step("Reset")
+
+	// Restoring an *empty* snapshot is still a mutation of every stripe —
+	// keys that existed before the restore are gone, so Version() must
+	// move even though zero entries are re-stamped (a cache keyed on the
+	// old version would otherwise serve quantiles for deleted keys).
+	var empty bytes.Buffer
+	if err := s.Snapshot(&empty); err != nil { // store is empty after Reset
+		t.Fatal(err)
+	}
+	s.Add("ghost", 1)
+	last = s.Version()
+	if err := s.Restore(bytes.NewReader(empty.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	step("Restore(empty)")
+	if _, ok := s.KeyVersion("ghost"); ok {
+		t.Fatal("key survived an empty restore")
+	}
+}

@@ -46,6 +46,44 @@ func BenchmarkScanMomentsTurnstile32(b *testing.B) {
 	}
 }
 
+// The warm-vs-cold benchmark pair: the same 32-pane sliding scan with the
+// threshold placed near the true 0.99-quantile (~460 for Exp(100) data), so
+// the guaranteed-bound cascade stages cannot settle the windows and nearly
+// every position pays a maximum-entropy solve. Warm runs seed each
+// position's Newton iteration from the previous window's θ; cold runs
+// (solver.NoWarmStart) start every solve from the uniform density. The
+// newton-iters/op metric is the acceptance ratio recorded in
+// BENCH_baseline.json (warm must beat cold by ≥1.5x in total iterations).
+const benchSolveThresh = 450
+
+func BenchmarkScanMomentsWarm32(b *testing.B) {
+	benchScanSolver(b, maxent.Options{})
+}
+
+func BenchmarkScanMomentsCold32(b *testing.B) {
+	benchScanSolver(b, maxent.Options{NoWarmStart: true})
+}
+
+func benchScanSolver(b *testing.B, solver maxent.Options) {
+	b.Helper()
+	panes := benchScanPanes(b)
+	iters, solves := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ScanMoments(panes, benchWidth, benchSolveThresh, benchPhi, cascade.Full(), solver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Solves == 0 {
+			b.Fatal("benchmark threshold never reached the MaxEnt stage")
+		}
+		iters += res.Stats.NewtonIters
+		solves += res.Stats.Solves
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "newton-iters/op")
+	b.ReportMetric(float64(solves)/float64(b.N), "solves/op")
+}
+
 func BenchmarkScanMomentsRemerge32(b *testing.B) {
 	panes := benchScanPanes(b)
 	cfg := cascade.Full()

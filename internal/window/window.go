@@ -28,6 +28,12 @@ type Result struct {
 // modified. Min/max for the live window are recomputed from the panes after
 // each turnstile update, which keeps the sketch's support tight (Sub cannot
 // shrink it).
+//
+// Positions whose threshold reaches the MaxEnt cascade stage seed the next
+// position's Newton solve with the previous window's θ (adjacent windows
+// differ by two panes, so the previous optimum is an excellent start);
+// Result.Stats records the solve and iteration counts so the warm-start win
+// is measurable. Set solver.NoWarmStart for a cold-start baseline.
 func ScanMoments(panes []*core.Sketch, width int, t, phi float64, cfg cascade.Config, solver maxent.Options) (*Result, error) {
 	return ScanMomentsContext(context.Background(), panes, width, t, phi, cfg, solver)
 }
@@ -65,9 +71,15 @@ func ScanMomentsContext(ctx context.Context, panes []*core.Sketch, width int, t,
 			est := time.Now()
 			// A solver failure still yields a bound-based fallback decision
 			// from the cascade; only structural errors (empty sketch) abort.
-			above, err := cascade.Threshold(cur, t, phi, cfg, &res.Stats)
+			above, sol, err := cascade.ThresholdSolve(cur, t, phi, cfg, &res.Stats)
 			if err != nil && errors.Is(err, core.ErrEmpty) {
 				return nil, err
+			}
+			if sol != nil && len(sol.Theta) > 0 {
+				// Seed the next position's Newton solve from this one's θ.
+				// Dimension mismatches (the next window selects a different
+				// basis) fall back to a cold start inside the solver.
+				cfg.Solver.Theta0 = sol.Theta
 			}
 			res.EstTime += time.Since(est)
 			if above {
