@@ -6,10 +6,19 @@
 //
 // Usage:
 //
-//	momentsd [-addr :7607] [-k 10] [-shards N] [-sep .] [-workers N]
-//	         [-solve-cache N] [-pane-width DUR] [-panes N]
+//	momentsd [-addr :7607] [-backend moments] [-k 10] [-shards N] [-sep .]
+//	         [-workers N] [-solve-cache N] [-pane-width DUR] [-panes N]
 //	         [-snapshot FILE] [-snapshot-interval DUR]
 //	         [-pprof-addr ADDR]
+//
+// -backend selects the serving summary backend: the default "moments"
+// sketch, or one of the paper's §6.1 baselines — "merge12", "tdigest",
+// "sampling" — optionally parameterized as name:param (e.g. tdigest:200).
+// Non-moments backends answer quantile and threshold aggregations from
+// their own estimators; aggregations needing moment structure (cdf,
+// rank_bounds, histogram, stats) and the /v1/windows cascade scan return
+// the typed backend_unsupported error. Snapshots are tagged with the
+// backend and refuse to restore across backends.
 //
 // -solve-cache bounds the engine's cross-request solve cache (resolved
 // selections with their solved max-ent densities, invalidated by mutation
@@ -79,12 +88,14 @@ import (
 	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/sketch"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":7607", "listen address")
-		order        = flag.Int("k", 10, "moments sketch order")
+		backendSpec  = flag.String("backend", "moments", "serving summary backend: moments, merge12, tdigest or sampling, optionally with a size parameter as name:param (e.g. tdigest:200)")
+		order        = flag.Int("k", 10, "moments sketch order (moments backend only)")
 		shards       = flag.Int("shards", 0, "lock stripes (0 = 8×GOMAXPROCS, rounded to a power of two)")
 		sep          = flag.String("sep", ".", "key segment separator for group-by selections")
 		workers      = flag.Int("workers", 0, "query executor worker pool size (0 = GOMAXPROCS)")
@@ -101,6 +112,18 @@ func main() {
 		log.Fatalf("momentsd: -k %d outside [1,%d]", *order, core.MaxK)
 	}
 	opts := []shard.Option{shard.WithOrder(*order), shard.WithShards(*shards)}
+	if *backendSpec != "" && *backendSpec != "moments" {
+		backend, err := sketch.ParseBackend(*backendSpec)
+		if err != nil {
+			log.Fatalf("momentsd: -backend: %v", err)
+		}
+		if backend.Name == "moments" {
+			// "moments:K" routes through the order flag path so -k and the
+			// spec cannot disagree silently.
+			log.Fatalf("momentsd: use -k to parameterize the moments backend")
+		}
+		opts = append(opts, shard.WithBackend(backend))
+	}
 	if *paneWidth < 0 {
 		log.Fatalf("momentsd: -pane-width must be positive")
 	}
@@ -173,8 +196,8 @@ func main() {
 		if w, n, ok := store.WindowConfig(); ok {
 			windowed = fmt.Sprintf(", %d×%s panes", n, w)
 		}
-		log.Printf("momentsd: listening on %s (k=%d, %d shards%s)",
-			*addr, store.Order(), store.NumShards(), windowed)
+		log.Printf("momentsd: listening on %s (backend %s, %d shards%s)",
+			*addr, store.Backend().Fingerprint(), store.NumShards(), windowed)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -295,34 +295,54 @@ func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, 
 			query.Aggregation{Op: query.OpThreshold, T: &t, Phi: &phi})
 	}
 
-	payload, err := json.Marshal(query.Request{Queries: []query.Subquery{sq}})
+	post := func(sq query.Subquery) (*query.Result, error) {
+		payload, err := json.Marshal(query.Request{Queries: []query.Subquery{sq}})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var envelope struct {
+				Error *query.Error `json:"error"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error != nil {
+				return nil, fmt.Errorf("query: %s", envelope.Error.Error())
+			}
+			return nil, fmt.Errorf("query: server returned %s", resp.Status)
+		}
+		var out query.Response
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("query: decoding response: %v", err)
+		}
+		if len(out.Results) == 0 {
+			return nil, fmt.Errorf("query: server returned no results — is %s a momentsd /v1/query endpoint?", url)
+		}
+		return &out.Results[0], nil
+	}
+	res, err := post(sq)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var envelope struct {
-			Error *query.Error `json:"error"`
+	if res.Error != nil && res.Error.Code == query.CodeBackendUnsupported {
+		// The stats aggregation is implicit (the user asked for quantiles);
+		// on a non-moments server drop it and retry with the op set every
+		// backend answers.
+		sq.Aggregations = sq.Aggregations[1:]
+		if res, err = post(sq); err != nil {
+			return err
 		}
-		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error != nil {
-			return fmt.Errorf("query: %s", envelope.Error.Error())
-		}
-		return fmt.Errorf("query: server returned %s", resp.Status)
 	}
-	var out query.Response
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return fmt.Errorf("query: decoding response: %v", err)
-	}
-	if len(out.Results) == 0 {
-		return fmt.Errorf("query: server returned no results — is %s a momentsd /v1/query endpoint?", url)
-	}
-	res := out.Results[0]
 	if res.Error != nil {
 		return fmt.Errorf("query: %s", res.Error.Error())
+	}
+	// Header: name the serving backend so saved outputs are
+	// self-describing (older servers omit the field; print nothing then).
+	if len(res.Groups) > 0 && res.Groups[0].Backend != "" {
+		fmt.Printf("serving backend: %s\n", res.Groups[0].Backend)
 	}
 	for _, g := range res.Groups {
 		scope := key

@@ -44,11 +44,27 @@
 // per value, the paper's milan setting) a k = 10 sketch shrinks from 196
 // to 87 bytes while preserving ε_avg ≈ 0.01 on well-conditioned data.
 //
+// # Tagged envelope ("MB", MarshalEnvelope/UnmarshalEnvelope)
+//
+// Non-moments summary backends (internal/sketch's Merge12, t-digest and
+// sampling codecs) wrap their binary payloads in a third magic:
+//
+//	offset    size  field
+//	0         2     magic 0x4D42 ("MB")
+//	2         1     envelope version (currently 1)
+//	3         1     backend family tag (assigned in internal/sketch)
+//	4         —     family payload
+//
+// Moments payloads stay bare — the "MS"/"ML" magics above, byte-identical
+// to every earlier release — and IsEnveloped sniffs the magic so one
+// stream can hold both shapes.
+//
 // # Versioning
 //
-// Both formats carry a one-byte version after the magic; decoders reject
+// All formats carry a one-byte version after the magic; decoders reject
 // unknown versions rather than guessing. Layout changes must bump the
 // version and keep decode paths for old ones — snapshots persisted by
 // momentsd outlive the binary that wrote them. moments.UnmarshalBinary
-// sniffs the magic, so either format can be handed to the public API.
+// sniffs the magic, so either moments format can be handed to the public
+// API.
 package encoding

@@ -1,0 +1,51 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tagged envelope for non-moments summary payloads.
+//
+// The moments sketch's own layouts are self-describing (the "MS" full- and
+// "ML" low-precision magics above), so moments payloads travel bare and
+// byte-identical to every earlier release. Other summary backends wrap
+// their binary payloads in a third magic:
+//
+//	magic(2)="MB" version(1) tag(1) | payload
+//
+// where tag identifies the backend family (internal/sketch owns the tag
+// assignment and the per-family payload codecs). IsEnveloped sniffs the
+// magic, so a decoder can accept both bare moments layouts and enveloped
+// backend payloads from one byte stream.
+const (
+	magicEnvelope   = 0x4D42 // "MB" (backend)
+	versionEnvelope = 1
+)
+
+// MarshalEnvelope frames a backend payload with the tagged envelope.
+func MarshalEnvelope(tag byte, payload []byte) []byte {
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint16(buf[0:], magicEnvelope)
+	buf[2] = versionEnvelope
+	buf[3] = tag
+	copy(buf[4:], payload)
+	return buf
+}
+
+// UnmarshalEnvelope strips the envelope, returning the backend tag and the
+// payload view (aliasing data, not a copy).
+func UnmarshalEnvelope(data []byte) (tag byte, payload []byte, err error) {
+	if !IsEnveloped(data) {
+		return 0, nil, ErrCorrupt
+	}
+	if data[2] != versionEnvelope {
+		return 0, nil, fmt.Errorf("encoding: unsupported envelope version %d", data[2])
+	}
+	return data[3], data[4:], nil
+}
+
+// IsEnveloped reports whether data starts with the backend envelope magic.
+func IsEnveloped(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint16(data) == magicEnvelope
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/encoding"
+	"repro/internal/sketch"
 	"repro/moments"
 )
 
@@ -50,6 +51,97 @@ func TestLowPrecisionQuantileRoundTrip(t *testing.T) {
 			if math.Abs(rank-phi) > 0.05 {
 				t.Errorf("mbits=%d phi=%v: estimate %v has sample rank %v", mbits, phi, got, rank)
 			}
+		}
+	}
+}
+
+// TestEnvelopeRoundTripAllBackends drives the tagged envelope through
+// every serializable serving backend: each backend's Marshal → Unmarshal
+// must reproduce the summary exactly, the non-moments payloads must carry
+// the envelope magic, and the moments payloads must stay bare (full- and
+// low-precision layouts alike), so old snapshots keep decoding.
+func TestEnvelopeRoundTripAllBackends(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = math.Exp(rng.NormFloat64())
+	}
+	backends := []sketch.Backend{
+		sketch.MomentsBackend(10),
+		sketch.Merge12Backend(32),
+		sketch.TDigestBackend(100),
+		sketch.SamplingBackend(256),
+	}
+	for _, b := range backends {
+		s := b.New()
+		for _, v := range values {
+			s.Add(v)
+		}
+		blob, err := b.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: Marshal: %v", b.Name, err)
+		}
+		if wantEnv := b.Name != "moments"; encoding.IsEnveloped(blob) != wantEnv {
+			t.Errorf("%s: IsEnveloped = %v, want %v", b.Name, !wantEnv, wantEnv)
+		}
+		back, err := b.Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("%s: Unmarshal: %v", b.Name, err)
+		}
+		if back.Count() != s.Count() {
+			t.Errorf("%s: count %v, want %v", b.Name, back.Count(), s.Count())
+		}
+		for _, phi := range []float64{0.05, 0.5, 0.95} {
+			if got, want := back.Quantile(phi), s.Quantile(phi); got != want {
+				t.Errorf("%s: q(%v) = %v, want %v after round trip", b.Name, phi, got, want)
+			}
+		}
+		// A different backend's decoder must refuse the payload rather than
+		// misinterpret it.
+		for _, other := range backends {
+			if other.Name == b.Name {
+				continue
+			}
+			if _, err := other.Unmarshal(blob); err == nil {
+				t.Errorf("%s payload decoded by %s", b.Name, other.Name)
+			}
+		}
+	}
+}
+
+// TestEnvelopeLowPrecisionMoments: the moments backend decoder must keep
+// sniffing the low-precision "ML" layout, so size-reduced sketches flow
+// through the same backend codec as full-precision ones.
+func TestEnvelopeLowPrecisionMoments(t *testing.T) {
+	s := moments.New()
+	rng := rand.New(rand.NewPCG(41, 42))
+	n := 2000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64())
+		s.Add(data[i])
+	}
+	sort.Float64s(data)
+	blob, err := s.MarshalLowPrecision(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encoding.IsEnveloped(blob) {
+		t.Fatal("low-precision moments payload is enveloped")
+	}
+	b := sketch.MomentsBackend(moments.DefaultK)
+	back, err := b.Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("backend decode of low-precision payload: %v", err)
+	}
+	if back.Count() != s.Count() {
+		t.Errorf("count %v, want %v (low-precision header must stay exact)", back.Count(), s.Count())
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got := back.Quantile(phi)
+		rank := float64(sort.SearchFloat64s(data, got)) / float64(n)
+		if math.Abs(rank-phi) > 0.05 {
+			t.Errorf("phi=%v: low-precision estimate %v has sample rank %v", phi, got, rank)
 		}
 	}
 }

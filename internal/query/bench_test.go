@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/shard"
+	"repro/internal/sketch"
 )
 
 // benchStore holds 128 dashboard groups of 2 keys each, the acceptance
@@ -163,6 +164,54 @@ func BenchmarkExecuteWorkers(b *testing.B) {
 					b.Fatal(qerr)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkBatch128Backend runs the 128-group-by acceptance batch across
+// serving backends: quantile-only aggregations (the op set every backend
+// answers), so the pair compares the moments solve path against the
+// baselines' direct estimators on identical selections.
+func BenchmarkBatch128Backend(b *testing.B) {
+	for _, bk := range []sketch.Backend{
+		sketch.MomentsBackend(10),
+		sketch.Merge12Backend(64),
+		sketch.TDigestBackend(100),
+	} {
+		b.Run(bk.Name, func(b *testing.B) {
+			store := shard.New(shard.WithShards(16), shard.WithBackend(bk))
+			rng := rand.New(rand.NewPCG(1, 2))
+			batch := store.NewBatch()
+			for g := 0; g < 128; g++ {
+				for k := 0; k < 2; k++ {
+					key := fmt.Sprintf("g%d.k%d", g, k)
+					for i := 0; i < 500; i++ {
+						batch.Add(key, math.Exp(rng.NormFloat64()*0.5)+float64(g%7))
+					}
+				}
+			}
+			batch.Flush()
+			e := NewEngine(store, Config{})
+			var req Request
+			for g := 0; g < 128; g++ {
+				prefix, level := fmt.Sprintf("g%d.", g), 1
+				req.Queries = append(req.Queries, Subquery{
+					Select:       Selection{Prefix: &prefix, GroupBy: &level},
+					Aggregations: []Aggregation{{Op: OpQuantiles, Phis: []float64{0.5, 0.99}}},
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, qerr := e.Execute(context.Background(), &req)
+				if qerr != nil {
+					b.Fatal(qerr)
+				}
+				if resp.Results[0].Error != nil {
+					b.Fatal(resp.Results[0].Error)
+				}
+			}
+			b.ReportMetric(float64(len(req.Queries))*float64(b.N)/b.Elapsed().Seconds(), "subqueries/s")
 		})
 	}
 }

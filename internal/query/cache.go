@@ -34,8 +34,9 @@ type CacheStats struct {
 // maximum-entropy densities). Keys embed the store's mutation version (see
 // Engine.cacheKey), so invalidation is structural: any mutation of covered
 // data changes the key and the stale entry simply ages out of the LRU.
-// Cached groups are immutable apart from the sync.Once-guarded solve, so
-// one entry can serve concurrent requests.
+// Cached groups are immutable apart from the sync.Once-guarded solve —
+// newGroup compacts lazily buffered backends (sketch.Compactor) before a
+// group can reach the cache — so one entry can serve concurrent requests.
 type solveCache struct {
 	shards    []cacheShard
 	mask      uint64

@@ -11,6 +11,17 @@
 // thousands of quantile aggregations over high-cardinality subgroups in one
 // round trip.
 //
+// The engine is generic over the store's serving backend (sketch.Backend):
+// on the default moments backend every aggregation is available and
+// estimates run through the maximum-entropy solver and moment-bound
+// cascade; on the baseline backends (Merge12, t-digest, sampling) the
+// planner validates capabilities up front — quantiles and thresholds
+// evaluate directly on the backend's own estimator (threshold stage
+// "Direct"), while the moment-structure operators (cdf, rank_bounds,
+// histogram, stats) fail fast with the typed backend_unsupported error.
+// Every result group is tagged with the backend name, and solve-cache keys
+// carry the backend fingerprint.
+//
 // On stores with time panes, a Selection may additionally carry a Window
 // (§7.2.2): a trailing-pane window, an explicit [start, end) wall-clock
 // range, or a set of sliding positions (last + step), each position one

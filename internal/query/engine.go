@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/maxent"
 	"repro/internal/shard"
+	"repro/internal/sketch"
 )
 
 // Config configures an Engine.
@@ -37,11 +38,12 @@ type Config struct {
 // All methods are safe for concurrent use.
 type Engine struct {
 	store     *shard.Store
+	backend   sketch.Backend
 	sep       string
 	solver    maxent.Options
 	workers   int
 	cache     *solveCache // nil when disabled
-	solverSig string      // solver-options fingerprint baked into cache keys
+	solverSig string      // backend + solver-options fingerprint in cache keys
 
 	statsMu      sync.Mutex
 	cascadeStats cascade.Stats
@@ -57,20 +59,26 @@ func NewEngine(store *shard.Store, cfg Config) *Engine {
 	}
 	e := &Engine{
 		store:   store,
+		backend: store.Backend(),
 		sep:     cfg.Separator,
 		solver:  cfg.Solver,
 		workers: cfg.Workers,
 	}
 	if cfg.SolveCache > 0 {
 		e.cache = newSolveCache(cfg.SolveCache)
-		// The engine's solver options are fixed for its lifetime, but the
-		// fingerprint keeps entries from ever being confused across engines
-		// or future per-request option overrides.
+		// The engine's backend and solver options are fixed for its
+		// lifetime, but the fingerprint keeps entries from ever being
+		// confused across engines, serving backends, or future per-request
+		// option overrides.
 		o := cfg.Solver
-		e.solverSig = fmt.Sprintf("%d;%d;%g;%g;%d;%d", o.GridSize, o.MaxGrid, o.GradTol, o.MaxCond, o.MaxIter, o.MaxRetries)
+		e.solverSig = fmt.Sprintf("%s;%d;%d;%g;%g;%d;%d",
+			e.backend.Fingerprint(), o.GridSize, o.MaxGrid, o.GradTol, o.MaxCond, o.MaxIter, o.MaxRetries)
 	}
 	return e
 }
+
+// Backend returns the serving summary backend the engine answers from.
+func (e *Engine) Backend() sketch.Backend { return e.backend }
 
 // CacheStats snapshots the solve cache's counters (zero-valued with
 // Enabled=false when the cache is disabled).
@@ -102,22 +110,45 @@ type task struct {
 	subqueries []int
 }
 
-// group is one materialized rollup with a lazily solved, memoized
-// maximum-entropy density. Groups produced by sliding-window selections are
+// group is one materialized rollup. On the moments backend, sk holds the
+// raw moments view and the group carries a lazily solved, memoized
+// maximum-entropy density; groups produced by sliding-window selections are
 // chained through prev so each position's solve warm-starts from the
-// previous window's θ. The solve is guarded by a sync.Once because resolved
-// group sets can outlive their task: the solve cache shares them across
-// concurrent Engine.Execute calls.
+// previous window's θ. On other backends sk is nil and aggregations
+// evaluate directly against the serving summary in sum. The solve is
+// guarded by a sync.Once because resolved group sets can outlive their
+// task: the solve cache shares them across concurrent Engine.Execute calls.
 type group struct {
 	label  string
 	window *WindowRange // wall-clock span, window selections only
 	keys   int
-	sk     *core.Sketch
-	prev   *group // previous sliding-window position, nil otherwise
+	sum    sketch.Serving // serving summary (nil on moments-internal paths)
+	sk     *core.Sketch   // raw moments view; nil on non-moments backends
+	prev   *group         // previous sliding-window position, nil otherwise
 
 	once   sync.Once
 	sol    *maxent.Solution
 	solErr error
+}
+
+// newGroup wraps a serving summary, extracting the raw moments view when
+// the backend carries one. The summary is compacted first: groups outlive
+// their task through the solve cache and serve concurrent Execute calls,
+// so any lazily buffered state must be flushed now — after this, Quantile
+// is a pure read on every backend.
+func newGroup(sum sketch.Serving, keys int) *group {
+	if c, ok := sum.(sketch.Compactor); ok {
+		c.Compact()
+	}
+	return &group{keys: keys, sum: sum, sk: sketch.RawMoments(sum)}
+}
+
+// count returns the rollup's observation count.
+func (g *group) count() float64 {
+	if g.sk != nil {
+		return g.sk.Count
+	}
+	return g.sum.Count()
 }
 
 // solution returns the memoized maximum-entropy solution for the group,
@@ -161,6 +192,10 @@ func (e *Engine) Execute(ctx context.Context, req *Request) (*Response, *Error) 
 		sq := &req.Queries[i]
 		results[i].ID = sq.ID
 		if err := sq.validate(); err != nil {
+			results[i].Error = err
+			continue
+		}
+		if err := e.validateBackendOps(sq); err != nil {
 			results[i].Error = err
 			continue
 		}
@@ -304,6 +339,39 @@ func (e *Engine) runTask(ctx context.Context, t *task, req *Request, results []R
 	}
 }
 
+// validateBackendOps rejects — before any data work — aggregations the
+// serving backend cannot answer: cdf, rank_bounds, histogram and stats all
+// read moment structure (solved densities, guaranteed moment bounds,
+// closed-form statistics) that only the moments backend carries. Quantiles
+// and thresholds evaluate directly on every backend.
+func (e *Engine) validateBackendOps(sq *Subquery) *Error {
+	if e.backend.Caps.Cascade {
+		return nil
+	}
+	for i := range sq.Aggregations {
+		switch sq.Aggregations[i].Op {
+		case OpQuantiles, OpThreshold:
+		default:
+			return Errorf(CodeBackendUnsupported,
+				"aggregation %d: op %q requires moment structure the %q serving backend lacks (supported: %s, %s)",
+				i, sq.Aggregations[i].Op, e.backend.Name, OpQuantiles, OpThreshold)
+		}
+	}
+	return nil
+}
+
+// mergeError maps a rollup-merge failure onto the error envelope. A
+// cross-backend merge (sketch.ErrTypeMismatch) gets the typed backend code
+// — it means summaries of different families met, which a uniformly
+// configured store cannot produce, so surfacing it loudly beats a generic
+// internal error.
+func mergeError(what string, err error) *Error {
+	if errors.Is(err, sketch.ErrTypeMismatch) {
+		return Errorf(CodeBackendUnsupported, "%s: cross-backend merge: %v", what, err)
+	}
+	return Errorf(CodeInternal, "%s: %v", what, err)
+}
+
 // ctxError maps a context failure onto the error envelope.
 func ctxError(err error) *Error {
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -321,11 +389,11 @@ func (e *Engine) resolveSelection(ctx context.Context, sel *Selection) ([]*group
 	}
 	switch {
 	case sel.Key != "":
-		sk, ok := e.store.Sketch(sel.Key)
-		if !ok || sk.IsEmpty() {
+		sum, ok := e.store.Summary(sel.Key)
+		if !ok || sum.IsEmpty() {
 			return nil, Errorf(CodeNotFound, "no such key: %q", sel.Key)
 		}
-		return []*group{{keys: 1, sk: sk}}, nil
+		return []*group{newGroup(sum, 1)}, nil
 
 	case sel.GroupBy == nil:
 		merged, merges, err := e.store.MergePrefixContext(ctx, *sel.Prefix)
@@ -333,12 +401,12 @@ func (e *Engine) resolveSelection(ctx context.Context, sel *Selection) ([]*group
 			if ctx.Err() != nil {
 				return nil, ctxError(ctx.Err())
 			}
-			return nil, Errorf(CodeInternal, "merging prefix %q: %v", *sel.Prefix, err)
+			return nil, mergeError(fmt.Sprintf("merging prefix %q", *sel.Prefix), err)
 		}
 		if merges == 0 || merged.IsEmpty() {
 			return nil, Errorf(CodeNotFound, "no keys with prefix %q", *sel.Prefix)
 		}
-		return []*group{{keys: merges, sk: merged}}, nil
+		return []*group{newGroup(merged, merges)}, nil
 
 	default:
 		matches, err := e.store.MatchContext(ctx, *sel.Prefix)
@@ -361,9 +429,10 @@ func (e *Engine) evalSubquery(groups []*group, sq *Subquery) []GroupResult {
 		}
 		out[gi] = GroupResult{
 			Group:        g.label,
+			Backend:      e.backend.Name,
 			Window:       g.window,
 			Keys:         g.keys,
-			Count:        g.sk.Count,
+			Count:        g.count(),
 			Aggregations: aggs,
 		}
 	}
@@ -371,6 +440,9 @@ func (e *Engine) evalSubquery(groups []*group, sq *Subquery) []GroupResult {
 }
 
 func (e *Engine) evalAgg(g *group, a *Aggregation) AggResult {
+	if g.sk == nil {
+		return e.evalAggDirect(g, a)
+	}
 	res := AggResult{Op: a.Op}
 	switch a.Op {
 	case OpQuantiles:
@@ -448,6 +520,39 @@ func (e *Engine) evalAgg(g *group, a *Aggregation) AggResult {
 			Variance: g.sk.Variance(),
 			StdDev:   g.sk.StdDev(),
 		}
+	}
+	return res
+}
+
+// evalAggDirect answers an aggregation straight from the serving summary —
+// the degradation path for backends without moment structure. Threshold
+// queries compare the backend's own quantile estimate against t (no
+// cascade, stage "Direct"); aggregations needing a solved density or
+// guaranteed moment bounds are rejected with the typed backend code (the
+// planner already filters them; this guards cached or internal callers).
+func (e *Engine) evalAggDirect(g *group, a *Aggregation) AggResult {
+	res := AggResult{Op: a.Op}
+	switch a.Op {
+	case OpQuantiles:
+		phis := a.phis()
+		points := make([]QuantilePoint, len(phis))
+		for i, phi := range phis {
+			points[i] = QuantilePoint{Q: phi, Value: g.sum.Quantile(phi)}
+		}
+		res.Quantiles = points
+
+	case OpThreshold:
+		phi := a.thresholdPhi()
+		res.Threshold = &ThresholdResult{
+			T:     *a.T,
+			Phi:   phi,
+			Above: g.sum.Quantile(phi) > *a.T,
+			Stage: "Direct",
+		}
+
+	default:
+		res.Error = Errorf(CodeBackendUnsupported,
+			"op %q requires moment structure the %q serving backend lacks", a.Op, e.backend.Name)
 	}
 	return res
 }

@@ -7,27 +7,27 @@ import (
 	"repro/internal/cube"
 	"repro/internal/shard"
 	"repro/internal/sketch"
-	"repro/moments"
 )
 
-// groupBySegment materializes the matched sketches into an ephemeral
+// groupBySegment materializes the matched summaries into an ephemeral
 // internal/cube data cube whose dimensions are the key's
 // separator-delimited segments, then rolls them up grouped by the requested
 // segment with GroupByCoords. Each group carries the merged rollup of every
 // key sharing that segment value; its Keys counts those matched keys (not
 // cube cells — distinct keys can collapse into one cell when segment
-// padding makes their coordinates coincide).
+// padding makes their coordinates coincide). The cube is summary-agnostic,
+// so the same path serves every backend.
 func (e *Engine) groupBySegment(matches []shard.Keyed, level int) ([]*group, *Error) {
 	c, labels, err := e.buildCube(matches)
 	if err != nil {
-		return nil, Errorf(CodeInternal, "building rollup cube: %v", err)
+		return nil, mergeError("building rollup cube", err)
 	}
 	if level >= len(labels) {
 		return nil, Errorf(CodeInvalid, "group_by must be a key-segment index in [0,%d)", len(labels))
 	}
 	cubeGroups, err := c.GroupByCoords([]int{level})
 	if err != nil {
-		return nil, Errorf(CodeInternal, "rollup: %v", err)
+		return nil, mergeError("rollup", err)
 	}
 	keysPerLabel := make(map[string]int, len(cubeGroups))
 	for _, m := range matches {
@@ -41,16 +41,13 @@ func (e *Engine) groupBySegment(matches []shard.Keyed, level int) ([]*group, *Er
 	out := make([]*group, len(cubeGroups))
 	for i, g := range cubeGroups {
 		label := labels[level][g.Coords[0]]
-		out[i] = &group{
-			label: label,
-			keys:  keysPerLabel[label],
-			sk:    g.Summary.(*sketch.MSketch).S.Raw(),
-		}
+		out[i] = newGroup(g.Summary.(sketch.Serving), keysPerLabel[label])
+		out[i].label = label
 	}
 	return out, nil
 }
 
-// buildCube materializes the matched sketches into a data cube whose
+// buildCube materializes the matched summaries into a data cube whose
 // dimensions are the key segments (split on the engine's separator; short
 // keys pad with ""). It returns the cube and, per dimension, the segment
 // label for each coordinate id.
@@ -96,18 +93,19 @@ func (e *Engine) buildCube(matches []shard.Keyed) (*cube.Cube, [][]string, error
 		schema.Dims[l] = fmt.Sprintf("seg%d", l)
 		schema.Card[l] = len(labels[l])
 	}
-	k := e.store.Order()
-	c, err := cube.New(schema, func() sketch.Summary { return sketch.NewMSketch(k) })
+	c, err := cube.New(schema, func() sketch.Summary { return e.backend.New() })
 	if err != nil {
 		return nil, nil, err
 	}
 	for i, m := range matches {
-		summary := &sketch.MSketch{S: moments.FromRaw(m.Sketch)}
+		// The cube's per-cell value sum is only derivable from moment
+		// structure; other backends ingest with sum 0 (QuerySum is not on
+		// the serving path).
 		sum := 0.0
-		if !m.Sketch.IsEmpty() {
-			sum = m.Sketch.Pow[0]
+		if raw := sketch.RawMoments(m.Summary); raw != nil && !raw.IsEmpty() {
+			sum = raw.Pow[0]
 		}
-		if err := c.IngestSummary(allCoords[i], summary, sum, m.Sketch.Count); err != nil {
+		if err := c.IngestSummary(allCoords[i], m.Summary, sum, m.Summary.Count()); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -37,6 +37,10 @@ const (
 	CodeCanceled     = "canceled"
 	CodeTooLarge     = "too_large"
 	CodeInternal     = "internal"
+	// CodeBackendUnsupported marks a request the serving backend cannot
+	// answer: an aggregation needing moment structure on a non-moments
+	// backend, a moments-only endpoint, or a cross-backend merge.
+	CodeBackendUnsupported = "backend_unsupported"
 )
 
 // Error is the structured {code, message} envelope used for request-level,
@@ -64,6 +68,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusServiceUnavailable
 	case CodeTooLarge:
 		return http.StatusRequestEntityTooLarge
+	case CodeBackendUnsupported:
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
@@ -196,6 +202,9 @@ type GroupResult struct {
 	// window's RFC 3339 start instant for window selections (empty for
 	// timeless key/prefix selections).
 	Group string `json:"group,omitempty"`
+	// Backend names the serving summary backend that produced this rollup
+	// ("moments", "merge12", ...), so saved results are self-describing.
+	Backend string `json:"backend,omitempty"`
 	// Window is the wall-clock span this group covers; only set for window
 	// selections.
 	Window *WindowRange `json:"window,omitempty"`

@@ -8,22 +8,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/shard"
+	"repro/internal/sketch"
 	"repro/internal/window"
 )
 
 // resolveWindow materializes the rollup(s) of a window selection: one group
 // per window position over the key's (or prefix rollup's) retained pane
-// ring. Single windows are merged directly; sliding windows are evaluated
-// with turnstile Sub/Merge slides (§7.2.2) so each position past the first
-// costs 2·Step O(k) vector operations, not a Last-pane re-merge. The
-// whole-ring case skips panes entirely and reads the store's rolling
-// retained sketch.
+// ring. Single windows are merged directly; on the moments backend sliding
+// windows are evaluated with turnstile Sub/Merge slides (§7.2.2) so each
+// position past the first costs 2·Step O(k) vector operations, not a
+// Last-pane re-merge — backends without Sub fall back to an exact re-merge
+// per position. The whole-ring case skips panes entirely and reads the
+// store's rolling retained summary.
 func (e *Engine) resolveWindow(ctx context.Context, sel *Selection) ([]*group, *Error) {
 	w := sel.Window
 
 	// Whole retained ring, single window: answered from the rolling
-	// turnstile-maintained retained sketch, O(k) per key instead of
-	// O(k × retention).
+	// retained summary (turnstile-maintained on the moments backend), O(k)
+	// per key instead of O(k × retention).
 	if w.Last == 0 && w.StartUnix == nil {
 		return e.resolveRetained(ctx, sel)
 	}
@@ -67,11 +69,11 @@ func (e *Engine) resolveWindow(ctx context.Context, sel *Selection) ([]*group, *
 		if len(ps.Panes) == 0 {
 			return nil, Errorf(CodeNotFound, "no data in the selected window")
 		}
-		g, err := mergeWindow(ps, 0, len(ps.Panes))
+		g, err := e.mergeWindow(ps, 0, len(ps.Panes))
 		if err != nil {
-			return nil, Errorf(CodeInternal, "merging window: %v", err)
+			return nil, mergeError("merging window", err)
 		}
-		if g.sk.IsEmpty() {
+		if g.count() <= 0 {
 			return nil, Errorf(CodeNotFound, "no data in the selected window")
 		}
 		g.keys = ps.Keys
@@ -89,9 +91,9 @@ func (e *Engine) resolveWindow(ctx context.Context, sel *Selection) ([]*group, *
 	if len(ps.Panes) < int(width) {
 		return nil, Errorf(CodeNotFound, "no data in the selected windows")
 	}
-	groups, err := slideWindows(ps, 0, len(ps.Panes), int(width), w.Step)
+	groups, err := e.slideWindows(ps, int(width), w.Step)
 	if err != nil {
-		return nil, Errorf(CodeInternal, "sliding window: %v", err)
+		return nil, mergeError("sliding window", err)
 	}
 	for _, g := range groups {
 		g.keys = ps.Keys
@@ -135,21 +137,21 @@ func windowError(ctx context.Context, sel *Selection, err error) *Error {
 }
 
 // resolveRetained answers a whole-ring window from the rolling retained
-// sketch maintained by turnstile expiry.
+// summary maintained at pane expiry.
 func (e *Engine) resolveRetained(ctx context.Context, sel *Selection) ([]*group, *Error) {
 	paneWidth, retention, enabled := e.store.WindowConfig()
 	if !enabled {
 		return nil, windowError(ctx, sel, shard.ErrNoWindow)
 	}
 	cur, _ := e.store.CurrentPane()
-	var sk *core.Sketch
+	var sum sketch.Serving
 	keys := 0
 	var err error
 	if sel.Key != "" {
-		sk, err = e.store.Retained(sel.Key)
+		sum, err = e.store.Retained(sel.Key)
 		keys = 1
 	} else {
-		sk, keys, err = e.store.RetainedPrefix(ctx, *sel.Prefix)
+		sum, keys, err = e.store.RetainedPrefix(ctx, *sel.Prefix)
 	}
 	if err != nil {
 		return nil, windowError(ctx, sel, err)
@@ -157,18 +159,62 @@ func (e *Engine) resolveRetained(ctx context.Context, sel *Selection) ([]*group,
 	if keys == 0 {
 		return nil, windowError(ctx, sel, shard.ErrNoKey)
 	}
-	if sk.IsEmpty() {
+	if sum.IsEmpty() {
 		return nil, Errorf(CodeNotFound, "no data in the retained window")
 	}
-	g := &group{keys: keys, sk: sk}
+	g := newGroup(sum, keys)
 	g.window, g.label = windowMeta(cur-int64(retention)+1, retention, paneWidth)
 	return []*group{g}, nil
 }
 
 // mergeWindow materializes one window [a, b) of the series as a group.
-func mergeWindow(ps *shard.PaneSeries, a, b int) (*group, error) {
-	sk := core.New(ps.Panes[0].K)
+func (e *Engine) mergeWindow(ps *shard.PaneSeries, a, b int) (*group, error) {
+	if raws, ok := ps.MomentsPanes(); ok {
+		return mergeMomentsWindow(ps, raws, a, b)
+	}
+	sum := e.backend.New()
 	for _, p := range ps.Panes[a:b] {
+		if err := sum.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	g := newGroup(sum, 0)
+	g.window, g.label = windowMeta(ps.Start+int64(a), b-a, ps.Width)
+	return g, nil
+}
+
+// slideWindows evaluates every sliding window position over the whole
+// series: turnstile slides on the moments backend, an exact re-merge per
+// position on backends without Sub.
+func (e *Engine) slideWindows(ps *shard.PaneSeries, width, step int) ([]*group, error) {
+	if raws, ok := ps.MomentsPanes(); ok {
+		return slideMomentsWindows(ps, raws, 0, len(raws), width, step)
+	}
+	// Re-merge fallback: each position is built independently. Empty
+	// positions are skipped — a gap in the stream is not a quantile.
+	var groups []*group
+	for a := 0; a+width <= len(ps.Panes); a += step {
+		sum := e.backend.New()
+		for _, p := range ps.Panes[a : a+width] {
+			if err := sum.Merge(p); err != nil {
+				return nil, err
+			}
+		}
+		if sum.IsEmpty() {
+			continue
+		}
+		g := newGroup(sum, 0)
+		g.window, g.label = windowMeta(ps.Start+int64(a), width, ps.Width)
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// mergeMomentsWindow materializes one window [a, b) of a moments pane
+// series as a group.
+func mergeMomentsWindow(ps *shard.PaneSeries, raws []*core.Sketch, a, b int) (*group, error) {
+	sk := core.New(raws[0].K)
+	for _, p := range raws[a:b] {
 		if err := sk.Merge(p); err != nil {
 			return nil, err
 		}
@@ -178,20 +224,20 @@ func mergeWindow(ps *shard.PaneSeries, a, b int) (*group, error) {
 	return g, nil
 }
 
-// slideWindows evaluates every window position [a, a+width) for
+// slideMomentsWindows evaluates every window position [a, a+width) for
 // a = lo, lo+step, … with turnstile slides: one full merge for the first
 // position, then Sub the expiring panes and Merge the arriving ones. Each
 // position's group gets an independent clone with its support re-tightened
 // to the live panes (Sub cannot shrink [Min, Max]). Empty positions are
 // skipped — a gap in the stream is not a quantile.
-func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, error) {
+func slideMomentsWindows(ps *shard.PaneSeries, raws []*core.Sketch, lo, hi, width, step int) ([]*group, error) {
 	if step >= width {
 		// Disjoint (tumbling) windows share no panes: a turnstile slide
 		// would subtract panes that were never merged. Build each position
 		// directly.
 		var groups []*group
 		for a := lo; a+width <= hi; a += step {
-			g, err := mergeWindow(ps, a, a+width)
+			g, err := mergeMomentsWindow(ps, raws, a, a+width)
 			if err != nil {
 				return nil, err
 			}
@@ -204,8 +250,8 @@ func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, erro
 		}
 		return groups, nil
 	}
-	cur := core.New(ps.Panes[0].K)
-	for _, p := range ps.Panes[lo : lo+width] {
+	cur := core.New(raws[0].K)
+	for _, p := range raws[lo : lo+width] {
 		if err := cur.Merge(p); err != nil {
 			return nil, err
 		}
@@ -216,7 +262,7 @@ func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, erro
 		// clone, and — being a superset of the next position's surviving
 		// panes — as the sound post-Sub range (Sub cannot restore min/max;
 		// the next iteration's TightenRange re-narrows it).
-		winLo, winHi := window.PaneRange(ps.Panes[a : a+width])
+		winLo, winHi := window.PaneRange(raws[a : a+width])
 		if !cur.IsEmpty() {
 			sk := cur.Clone()
 			sk.TightenRange(winLo, winHi)
@@ -232,13 +278,13 @@ func slideWindows(ps *shard.PaneSeries, lo, hi, width, step int) ([]*group, erro
 		if a+step+width > hi {
 			break
 		}
-		for _, p := range ps.Panes[a : a+step] {
+		for _, p := range raws[a : a+step] {
 			if err := cur.Sub(p); err != nil {
 				return nil, err
 			}
 		}
 		cur.Min, cur.Max = winLo, winHi
-		for _, p := range ps.Panes[a+width : a+width+step] {
+		for _, p := range raws[a+width : a+width+step] {
 			if err := cur.Merge(p); err != nil {
 				return nil, err
 			}

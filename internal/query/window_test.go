@@ -83,6 +83,16 @@ func oracleQuantile(t *testing.T, panes []*core.Sketch, a, b int, phi float64) f
 	return q
 }
 
+// rawPanes extracts the moments view of a pane series (test helper).
+func rawPanes(t *testing.T, ps *shard.PaneSeries) []*core.Sketch {
+	t.Helper()
+	raws, ok := ps.MomentsPanes()
+	if !ok {
+		t.Fatal("pane series is not moments-backed")
+	}
+	return raws
+}
+
 func execOne(t *testing.T, e *Engine, req *Request) Result {
 	t.Helper()
 	resp, qerr := e.Execute(context.Background(), req)
@@ -159,7 +169,7 @@ func TestWindowTrailingMatchesOracle(t *testing.T) {
 		}
 		g := res.Groups[0]
 		width := min(last, len(ps.Panes))
-		want := oracleQuantile(t, ps.Panes, len(ps.Panes)-width, len(ps.Panes), 0.99)
+		want := oracleQuantile(t, rawPanes(t, ps), len(ps.Panes)-width, len(ps.Panes), 0.99)
 		got := g.Aggregations[0].Quantiles[1].Value
 		if d := relErr(got, want); d > quantileTol {
 			t.Errorf("last=%d: p99 = %v, oracle %v (rel diff %g)", last, got, want, d)
@@ -193,7 +203,7 @@ func TestWindowRetainedFastPathMatchesOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := oracleQuantile(t, ps.Panes, 0, len(ps.Panes), 0.99)
+		want := oracleQuantile(t, rawPanes(t, ps), 0, len(ps.Panes), 0.99)
 		got := res.Groups[0].Aggregations[0].Quantiles[1].Value
 		if d := relErr(got, want); d > quantileTol {
 			t.Errorf("retained fast path p99 = %v, oracle %v (rel diff %g)", got, want, d)
@@ -226,10 +236,11 @@ func TestWindowSlidingMatchesOracle(t *testing.T) {
 		if len(res.Groups) != wantPositions {
 			t.Fatalf("width=%d step=%d: %d groups, want %d", tc.width, tc.step, len(res.Groups), wantPositions)
 		}
+		raws := rawPanes(t, ps)
 		for gi, g := range res.Groups {
 			a := gi * tc.step
-			oracle := core.New(ps.Panes[0].K)
-			for _, p := range ps.Panes[a : a+tc.width] {
+			oracle := core.New(raws[0].K)
+			for _, p := range raws[a : a+tc.width] {
 				if err := oracle.Merge(p); err != nil {
 					t.Fatal(err)
 				}
@@ -286,8 +297,8 @@ func TestWindowSlidingThresholdMatchesScan(t *testing.T) {
 		if g.Aggregations[0].Threshold.Above {
 			hot = append(hot, gi)
 		}
-		sk := core.New(ps.Panes[0].K)
-		for _, p := range ps.Panes[gi : gi+4] {
+		sk := core.New(rawPanes(t, ps)[0].K)
+		for _, p := range rawPanes(t, ps)[gi : gi+4] {
 			if err := sk.Merge(p); err != nil {
 				t.Fatal(err)
 			}
@@ -331,7 +342,7 @@ func TestWindowExplicitRange(t *testing.T) {
 	if g.Window.Panes != 6 || g.Window.StartUnix != start || g.Window.EndUnix != end {
 		t.Fatalf("window meta %+v, want [%v,%v) over 6 panes", g.Window, start, end)
 	}
-	want := oracleQuantile(t, ps.Panes, 4, 10, 0.99)
+	want := oracleQuantile(t, rawPanes(t, ps), 4, 10, 0.99)
 	got := g.Aggregations[0].Quantiles[1].Value
 	if d := relErr(got, want); d > quantileTol {
 		t.Errorf("range window p99 = %v, oracle %v", got, want)

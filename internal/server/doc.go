@@ -1,6 +1,11 @@
-// Package server exposes a shard.Store of per-key moments sketches over
+// Package server exposes a shard.Store of per-key quantile summaries over
 // HTTP — the serving path that turns the paper's merge-cheap summaries into
-// an interactive aggregation service.
+// an interactive aggregation service. The store's serving backend (moments
+// by default; Merge12, t-digest or sampling via shard.WithBackend) is
+// echoed on /stats and /v1/stats and on every /v1/query result group;
+// aggregations a backend cannot answer return the typed
+// backend_unsupported error, and /v1/windows — built on the moment-bound
+// cascade — requires the moments backend.
 //
 //	POST /ingest     batch observation ingest (JSON body or NDJSON stream;
 //	                 observations may carry a "ts" unix-seconds stamp that

@@ -356,11 +356,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for stage := cascade.Stage(0); stage < cascade.NumStages; stage++ {
 		resolved[stage.String()] = cs.Resolved[stage]
 	}
+	b := s.store.Backend()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"keys":           s.store.Len(),
 		"observations":   s.store.TotalCount(),
 		"shards":         s.store.NumShards(),
 		"order":          s.store.Order(),
+		"backend":        b.Fingerprint(),
+		"backend_caps":   b.Caps,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"cascade": map[string]any{
 			"queries":  cs.Queries,

@@ -94,6 +94,15 @@ func (s *Server) handleWindowsV1(w http.ResponseWriter, r *http.Request) {
 			"store has no time panes; start the server with a pane width to enable window scans"))
 		return
 	}
+	if !s.store.Backend().Caps.Cascade {
+		// The scan's cascade reads moment bounds only the moments backend
+		// carries; sliding-window thresholds on other backends go through
+		// /v1/query window selections instead.
+		writeQueryError(w, query.Errorf(query.CodeBackendUnsupported,
+			"/v1/windows requires the moments backend (serving %q); use a /v1/query window selection with a threshold aggregation",
+			s.store.Backend().Name))
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -132,8 +141,16 @@ func (s *Server) handleWindowsV1(w http.ResponseWriter, r *http.Request) {
 	if req.Phi != nil {
 		phi = *req.Phi
 	}
+	raws, ok := ps.MomentsPanes()
+	if !ok {
+		// Unreachable given the backend guard above; kept so a future
+		// backend with Cascade but non-moments panes fails loudly.
+		writeQueryError(w, query.Errorf(query.CodeBackendUnsupported,
+			"/v1/windows requires moments panes (serving %q)", s.store.Backend().Name))
+		return
+	}
 	cfg := cascade.Full()
-	res, err := window.ScanMomentsContext(r.Context(), ps.Panes, req.Width, *req.T, phi, cfg, s.solver)
+	res, err := window.ScanMomentsContext(r.Context(), raws, req.Width, *req.T, phi, cfg, s.solver)
 	if err != nil {
 		if r.Context().Err() != nil {
 			writeQueryError(w, query.Errorf(query.CodeDeadline, "request deadline exceeded"))

@@ -93,6 +93,16 @@ func postObj(t *testing.T, url string, body any, out any) *http.Response {
 	return resp
 }
 
+// serverRawPanes extracts the moments view of a pane series (test helper).
+func serverRawPanes(t *testing.T, ps *shard.PaneSeries) []*core.Sketch {
+	t.Helper()
+	raws, ok := ps.MomentsPanes()
+	if !ok {
+		t.Fatal("pane series is not moments-backed")
+	}
+	return raws
+}
+
 func winRelErr(got, want float64) float64 {
 	return math.Abs(got-want) / math.Max(1, math.Abs(want))
 }
@@ -201,7 +211,7 @@ func TestWindowedQueryOracleSuite(t *testing.T) {
 			if res.Error != nil {
 				t.Fatalf("%s: %v", label, res.Error)
 			}
-			checkWindowedGroups(t, label, res.Groups, ps.Panes, width, step)
+			checkWindowedGroups(t, label, res.Groups, serverRawPanes(t, ps), width, step)
 		}
 	}
 	run(t, store, srv.URL)
@@ -245,7 +255,7 @@ func TestWindowedQueryOracleSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkWindowedGroups(t, "retained whole-ring", out.Results[0].Groups, ps.Panes, retention, retention)
+	checkWindowedGroups(t, "retained whole-ring", out.Results[0].Groups, serverRawPanes(t, ps), retention, retention)
 }
 
 // TestWindowsScanMatchesSummaryOracle pins the /v1/windows alert scan to
@@ -283,16 +293,14 @@ func TestWindowsScanMatchesSummaryOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The pane series already carries serving MSketch clones; hand them to
+	// the summary-generic scanner directly.
 	sumPanes := make([]sketch.Summary, len(ps.Panes))
 	for i, p := range ps.Panes {
-		m := sketch.NewMSketch(p.K)
-		if err := m.S.Raw().Merge(p); err != nil {
-			t.Fatal(err)
-		}
-		sumPanes[i] = m
+		sumPanes[i] = p
 	}
 	oracle, err := window.ScanSummaries(sumPanes, width, thresh, phi,
-		func() sketch.Summary { return sketch.NewMSketch(ps.Panes[0].K) })
+		func() sketch.Summary { return sketch.NewMSketch(store.Order()) })
 	if err != nil {
 		t.Fatal(err)
 	}

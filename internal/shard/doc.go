@@ -1,9 +1,11 @@
 // Package shard implements a concurrent, lock-striped store of per-key
-// moments sketches — the serving-side counterpart of the paper's data-cube
-// cells. Each distinct string key owns one constant-size core.Sketch;
-// observations hash to one of a power-of-two number of shards, each guarded
-// by its own mutex, so ingest from many goroutines contends only when two
-// writers land on the same stripe.
+// quantile summaries — the serving-side counterpart of the paper's
+// data-cube cells. Each distinct string key owns one summary of the
+// store's serving backend (sketch.Backend; the moments sketch by default,
+// with WithBackend selecting the §6.1 baselines — Merge12, t-digest,
+// sampling); observations hash to one of a power-of-two number of shards,
+// each guarded by its own mutex, so ingest from many goroutines contends
+// only when two writers land on the same stripe.
 //
 // The hot path is allocation-free: keys are hashed with an inline FNV-1a
 // (no interface boxing, no []byte conversion), and the Batch type buckets
@@ -12,10 +14,12 @@
 // sketch itself is a fixed set of power sums, per-key state never grows —
 // a store with a million keys is a million ~200-byte summaries.
 //
-// Reads never block estimation work on a stripe lock: Sketch, Quantile and
-// Threshold clone the fixed-size summary under the lock (a few hundred
-// bytes of copying) and run the maximum-entropy solver or the threshold
-// cascade on the clone outside it.
+// Reads never block estimation work on a stripe lock: Summary, Quantile
+// and Threshold clone the summary under the lock and estimate on the clone
+// outside it — through the maximum-entropy solver and threshold cascade on
+// the moments backend, or the backend's own quantile estimator otherwise
+// (thresholds degrade to a direct quantile comparison). Sketch returns the
+// raw moments view and reports false on non-moments backends.
 //
 // Every key also carries a mutation version stamped from its stripe's
 // monotonic counter (KeyVersion); Version sums the stripe counters into a
@@ -26,17 +30,21 @@
 // With WithWindow the store gains a time dimension (§7.2.2): each key
 // keeps, alongside its all-time sketch, a ring of fixed-width time panes
 // plus a rolling "retained" sketch equal to the sum of the live panes.
-// Ingest stamps each observation's pane; expiry is turnstile — the
-// expiring pane's power sums are subtracted from the rolling sketch (two
-// O(k) vector operations per pane transition, amortized O(1) per
-// observation). Windowed reads come in two shapes: Panes/PanesPrefix
-// return a dense, time-aligned clone series for arbitrary window math, and
-// Retained/RetainedPrefix read the rolling sketch in O(k) per key.
+// Ingest stamps each observation's pane; on Sub-capable backends (moments)
+// expiry is turnstile — the expiring pane's power sums are subtracted from
+// the rolling sketch (two O(k) vector operations per pane transition,
+// amortized O(1) per observation) — while backends without Sub rebuild the
+// rolling summary by an exact re-merge of the surviving panes at each
+// expiry. Windowed reads come in two shapes: Panes/PanesPrefix return a
+// dense, time-aligned clone series for arbitrary window math, and
+// Retained/RetainedPrefix read the rolling summary in O(k) per key.
 //
 // The full store can be serialized to a length-prefixed snapshot stream
-// (see Snapshot/Restore) built on the binary sketch codec in
-// internal/encoding. Windowed stores write snapshot format v2, which
-// carries the pane configuration and each key's live panes; restore
-// re-expires against the wall clock and rebuilds each rolling sketch by
+// (see Snapshot/Restore) built on the per-backend codecs in internal/sketch
+// and internal/encoding. Moments stores write the unchanged formats v1/v2
+// (v2 carries the pane configuration and each key's live panes); stores on
+// other backends write the backend-tagged format v3, and Restore rejects
+// any snapshot whose backend fingerprint differs from the store's. Restore
+// re-expires against the wall clock and rebuilds each rolling summary by
 // exact re-merge.
 package shard

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/shard"
+	"repro/internal/sketch"
 )
 
 // ExampleStore_Panes shows the time dimension of a windowed store: a ring
@@ -32,7 +33,7 @@ func ExampleStore_Panes() {
 	}
 	for i, pane := range series.Panes {
 		fmt.Printf("pane %d (%s): %.0f observations\n",
-			i, series.PaneStart(i).UTC().Format("15:04"), pane.Count)
+			i, series.PaneStart(i).UTC().Format("15:04"), pane.Count())
 	}
 
 	// The rolling retained sketch — maintained by turnstile subtraction as
@@ -41,7 +42,8 @@ func ExampleStore_Panes() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("retained: %.0f observations, max %.1f\n", retained.Count, retained.Max)
+	raw := sketch.RawMoments(retained) // moments view: exact count/min/max
+	fmt.Printf("retained: %.0f observations, max %.1f\n", raw.Count, raw.Max)
 	// Output:
 	// pane 0 (22:10): 0 observations
 	// pane 1 (22:11): 3 observations

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sketch"
 )
 
 // ErrNoWindow is returned by the pane accessors when the store was built
@@ -20,36 +21,44 @@ var ErrNoWindow = errors.New("shard: store has no time panes (construct with Wit
 const MaxRetention = 4096
 
 // paneSlot is one position of a key's pane ring. idx is the absolute pane
-// index the slot currently holds, or -1 when empty. Sketches are allocated
+// index the slot currently holds, or -1 when empty. Summaries are allocated
 // lazily on first use and Reset — not reallocated — on expiry, so a
 // steady-state ring never allocates.
 type paneSlot struct {
 	idx int64
-	sk  *core.Sketch
+	sk  sketch.Serving
 }
 
 // paneRing is the per-key time dimension: a ring of fixed-width pane
-// sketches covering the trailing `retention` panes, plus a rolling
-// `retained` sketch equal to the sum of all live panes. The ring is
-// advanced with turnstile semantics (§7.2.2): when a pane expires, its
-// power sums are subtracted from `retained` — two O(k) vector operations
-// per pane transition instead of re-merging the whole window.
+// summaries covering the trailing `retention` panes, plus a rolling
+// `retained` summary equal to the sum of all live panes. On backends with
+// turnstile subtraction (the moments sketch) the ring advances with
+// turnstile semantics (§7.2.2): when a pane expires, its power sums are
+// subtracted from `retained` — two O(k) vector operations per pane
+// transition instead of re-merging the whole window. Backends without Sub
+// fall back to an exact re-merge of the surviving live panes whenever a
+// pane expires.
 //
 // Pane indices are absolute (unix nanoseconds / pane width), so rings from
 // different keys — and from snapshots — align without any per-ring epoch.
 // A ring is only ever touched under its stripe's lock.
 type paneRing struct {
 	slots    []paneSlot
-	retained *core.Sketch
+	retained sketch.Serving
+	newFn    func() sketch.Serving
+	sub      bool // backend supports turnstile Sub
 	// cur is the highest pane index the ring has advanced to; the live
 	// range is (cur-len(slots), cur]. -1 until the first observation.
 	cur int64
 }
 
-func newPaneRing(k, retention int) *paneRing {
+// newPaneRing builds an empty ring for the store's backend and retention.
+func (s *Store) newPaneRing() *paneRing {
 	r := &paneRing{
-		slots:    make([]paneSlot, retention),
-		retained: core.New(k),
+		slots:    make([]paneSlot, s.retention),
+		retained: s.backend.New(),
+		newFn:    s.backend.New,
+		sub:      s.backend.Caps.Sub,
 		cur:      -1,
 	}
 	for i := range r.slots {
@@ -59,10 +68,11 @@ func newPaneRing(k, retention int) *paneRing {
 }
 
 // advance expires every pane that falls out of the live range when the ring
-// moves forward to pane p. Expiry is the turnstile subtraction: each
-// expiring pane's power sums are removed from the rolling retained sketch.
-// Cost is O(min(p-cur, retention)) pane transitions, independent of how
-// many observations the panes held.
+// moves forward to pane p. On Sub-capable backends expiry is the turnstile
+// subtraction: each expiring pane's power sums are removed from the rolling
+// retained summary, costing O(min(p-cur, retention)) pane transitions,
+// independent of how many observations the panes held. Other backends
+// rebuild retained by an exact re-merge of the surviving panes.
 func (r *paneRing) advance(p int64) {
 	if p <= r.cur {
 		return
@@ -82,27 +92,40 @@ func (r *paneRing) advance(p int64) {
 		r.cur = p
 		return
 	}
+	expired := false
 	for q := r.cur + 1; q <= p; q++ {
 		s := &r.slots[q%n]
 		if s.idx >= 0 {
-			// s holds pane q-retention, the one sliding out of the live
-			// range. Sub cannot fail here: retained's count is the exact
-			// integer-arithmetic sum of the live panes' counts.
-			_ = r.retained.Sub(s.sk)
+			if r.sub {
+				// s holds pane q-retention, the one sliding out of the live
+				// range. Sub cannot fail here: retained's count is the exact
+				// integer-arithmetic sum of the live panes' counts.
+				_ = r.retained.(sketch.Subber).Sub(s.sk)
+			}
 			s.sk.Reset()
 			s.idx = -1
+			expired = true
 		}
 	}
 	r.cur = p
+	if expired && !r.sub {
+		// Exact re-merge fallback for backends without turnstile Sub.
+		r.retained.Reset()
+		for i := range r.slots {
+			if r.slots[i].idx >= 0 {
+				_ = r.retained.Merge(r.slots[i].sk)
+			}
+		}
+	}
 }
 
 // observe records x into pane p, advancing the ring first. Out-of-range
 // observations (p older than the live range, or negative — a pre-1970
 // timestamp) update nothing here — the caller has already folded them into
-// the all-time sketch. Callers must clamp p to the clock's current pane:
+// the all-time summary. Callers must clamp p to the clock's current pane:
 // the ring trusts p, and advancing on a data-supplied future timestamp
 // would expire live panes.
-func (r *paneRing) observe(p int64, x float64, k int) {
+func (r *paneRing) observe(p int64, x float64) {
 	if p < 0 {
 		return
 	}
@@ -112,17 +135,17 @@ func (r *paneRing) observe(p int64, x float64, k int) {
 	}
 	s := &r.slots[p%int64(len(r.slots))]
 	if s.sk == nil {
-		s.sk = core.New(k)
+		s.sk = r.newFn()
 	}
 	s.idx = p
 	s.sk.Add(x)
 	r.retained.Add(x)
 }
 
-// restorePane installs a decoded pane sketch during Restore. The ring must
+// restorePane installs a decoded pane summary during Restore. The ring must
 // have been advanced to the restore-time pane first so stale snapshot panes
 // are dropped rather than resurrected.
-func (r *paneRing) restorePane(p int64, sk *core.Sketch) {
+func (r *paneRing) restorePane(p int64, sk sketch.Serving) {
 	if p > r.cur || p <= r.cur-int64(len(r.slots)) {
 		return
 	}
@@ -134,33 +157,41 @@ func (r *paneRing) restorePane(p int64, sk *core.Sketch) {
 
 // liveRange returns the tightest [lo, hi] covering every live pane's
 // values, for TightenRange after turnstile subtractions (Sub cannot shrink
-// the tracked support). Returns ±Inf when no live pane holds data.
+// the tracked support). Returns ±Inf when no live pane holds data. Only
+// meaningful on moments-backed rings; other backends never subtract, so
+// their retained support needs no repair.
 func (r *paneRing) liveRange() (lo, hi float64) {
 	lo, hi = math.Inf(1), math.Inf(-1)
 	for i := range r.slots {
 		if r.slots[i].idx < 0 {
 			continue
 		}
-		if r.slots[i].sk.Min < lo {
-			lo = r.slots[i].sk.Min
+		raw := sketch.RawMoments(r.slots[i].sk)
+		if raw == nil {
+			continue
 		}
-		if r.slots[i].sk.Max > hi {
-			hi = r.slots[i].sk.Max
+		if raw.Min < lo {
+			lo = raw.Min
+		}
+		if raw.Max > hi {
+			hi = raw.Max
 		}
 	}
 	return lo, hi
 }
 
-// retainedClone returns an independent copy of the rolling retained sketch
-// with its support re-tightened from the live panes.
-func (r *paneRing) retainedClone() *core.Sketch {
+// retainedClone returns an independent copy of the rolling retained summary
+// — on moments rings with its support re-tightened from the live panes.
+func (r *paneRing) retainedClone() sketch.Serving {
 	c := r.retained.Clone()
-	lo, hi := r.liveRange()
-	// Reset the stale post-Sub support before tightening: TightenRange
-	// only ever narrows, and Sub leaves the widest historical range.
-	c.Min, c.Max = math.Inf(1), math.Inf(-1)
-	if !math.IsInf(lo, 1) {
-		c.Min, c.Max = lo, hi
+	if raw := sketch.RawMoments(c); raw != nil {
+		lo, hi := r.liveRange()
+		// Reset the stale post-Sub support before tightening: TightenRange
+		// only ever narrows, and Sub leaves the widest historical range.
+		raw.Min, raw.Max = math.Inf(1), math.Inf(-1)
+		if !math.IsInf(lo, 1) {
+			raw.Min, raw.Max = lo, hi
+		}
 	}
 	return c
 }
@@ -203,11 +234,26 @@ type PaneSeries struct {
 	Start int64
 	// Width is the store's pane width.
 	Width time.Duration
-	// Panes holds one sketch per pane of the series' range.
-	Panes []*core.Sketch
+	// Panes holds one summary per pane of the series' range.
+	Panes []sketch.Serving
 	// Keys counts the per-key rings merged into the series (1 for a key
 	// series, the number of matched keys for a prefix series).
 	Keys int
+}
+
+// MomentsPanes returns the raw moments view of every pane, or ok=false when
+// the series was produced by a non-moments backend. Moment-structure
+// consumers (window.ScanMoments, turnstile slides) go through it.
+func (ps *PaneSeries) MomentsPanes() ([]*core.Sketch, bool) {
+	out := make([]*core.Sketch, len(ps.Panes))
+	for i, p := range ps.Panes {
+		raw := sketch.RawMoments(p)
+		if raw == nil {
+			return nil, false
+		}
+		out[i] = raw
+	}
+	return out, true
 }
 
 // PaneStart returns the wall-clock start of Panes[i].
@@ -244,10 +290,10 @@ func (s *Store) emptySeries(start, end int64) *PaneSeries {
 	ps := &PaneSeries{
 		Start: start,
 		Width: time.Duration(s.paneWidth),
-		Panes: make([]*core.Sketch, n),
+		Panes: make([]sketch.Serving, n),
 	}
 	for i := range ps.Panes {
-		ps.Panes[i] = core.New(s.k)
+		ps.Panes[i] = s.backend.New()
 	}
 	return ps
 }
@@ -380,11 +426,13 @@ func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end 
 	return ps, nil
 }
 
-// Retained returns a clone of the rolling retained sketch for key — the sum
-// of every live pane, maintained incrementally by turnstile Sub on expiry,
-// so this is O(k) regardless of retention. Its support is re-tightened from
-// the live panes before returning.
-func (s *Store) Retained(key string) (*core.Sketch, error) {
+// Retained returns a clone of the rolling retained summary for key — the
+// sum of every live pane. On the moments backend it is maintained
+// incrementally by turnstile Sub on expiry, so this is O(k) regardless of
+// retention, and its support is re-tightened from the live panes before
+// returning; backends without Sub keep it exact by re-merging live panes at
+// expiry.
+func (s *Store) Retained(key string) (sketch.Serving, error) {
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -400,17 +448,16 @@ func (s *Store) Retained(key string) (*core.Sketch, error) {
 	return e.ring.retainedClone(), nil
 }
 
-// RetainedPrefix merges the rolling retained sketches of every key with the
-// given prefix — the windowed analogue of MergePrefixContext, costing one
-// O(k) merge per matched key rather than one per (key × pane). It returns
-// the merged sketch and the number of keys merged.
-func (s *Store) RetainedPrefix(ctx context.Context, prefix string) (*core.Sketch, int, error) {
+// RetainedPrefix merges the rolling retained summaries of every key with
+// the given prefix — the windowed analogue of MergePrefixContext, costing
+// one merge per matched key rather than one per (key × pane). It returns
+// the merged summary and the number of keys merged.
+func (s *Store) RetainedPrefix(ctx context.Context, prefix string) (sketch.Serving, int, error) {
 	if s.paneWidth <= 0 {
 		return nil, 0, ErrNoWindow
 	}
 	now := s.nowPane()
-	out := core.New(s.k)
-	out.Min, out.Max = math.Inf(1), math.Inf(-1)
+	out := s.backend.New()
 	keys := 0
 	for i := range s.stripes {
 		if err := ctx.Err(); err != nil {

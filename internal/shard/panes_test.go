@@ -11,7 +11,28 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sketch"
 )
+
+// rawOf extracts the moments view of a serving summary (test helper).
+func rawOf(t *testing.T, s sketch.Serving) *core.Sketch {
+	t.Helper()
+	raw := sketch.RawMoments(s)
+	if raw == nil {
+		t.Fatal("summary is not moments-backed")
+	}
+	return raw
+}
+
+// momentsPanes extracts the moments view of a pane series (test helper).
+func momentsPanes(t *testing.T, ps *PaneSeries) []*core.Sketch {
+	t.Helper()
+	raws, ok := ps.MomentsPanes()
+	if !ok {
+		t.Fatal("pane series is not moments-backed")
+	}
+	return raws
+}
 
 // fakeClock is a manually advanced wall clock for windowed-store tests.
 type fakeClock struct{ t time.Time }
@@ -91,7 +112,7 @@ func TestRetainedMatchesRemergeAcrossExpiry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		assertSketchClose(t, retained, remergePanes(t, ps.Panes), 1e-9, "retained")
+		assertSketchClose(t, rawOf(t, retained), remergePanes(t, momentsPanes(t, ps)), 1e-9, "retained")
 		clock.advance(time.Second)
 	}
 }
@@ -115,11 +136,11 @@ func TestPaneSeriesLayout(t *testing.T) {
 	if got := ps.Start + 3; got != clock.t.UnixNano()/int64(time.Minute) {
 		t.Errorf("series ends at pane %d, want current pane", got)
 	}
-	if ps.Panes[2].Count != 1 || ps.Panes[3].Count != 2 {
-		t.Errorf("pane counts = %v,%v, want 1,2", ps.Panes[2].Count, ps.Panes[3].Count)
+	if ps.Panes[2].Count() != 1 || ps.Panes[3].Count() != 2 {
+		t.Errorf("pane counts = %v,%v, want 1,2", ps.Panes[2].Count(), ps.Panes[3].Count())
 	}
-	if ps.Panes[0].Count != 0 || ps.Panes[1].Count != 0 {
-		t.Errorf("old panes not empty: %v,%v", ps.Panes[0].Count, ps.Panes[1].Count)
+	if ps.Panes[0].Count() != 0 || ps.Panes[1].Count() != 0 {
+		t.Errorf("old panes not empty: %v,%v", ps.Panes[0].Count(), ps.Panes[1].Count())
 	}
 	if got := ps.PaneStart(3); !got.Equal(clock.t.Truncate(time.Minute)) {
 		t.Errorf("PaneStart(3) = %v, want %v", got, clock.t.Truncate(time.Minute))
@@ -133,8 +154,8 @@ func TestPaneSeriesLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, p := range ps.Panes {
-		if p.Count != 0 {
-			t.Errorf("pane %d not expired: count %v", i, p.Count)
+		if p.Count() != 0 {
+			t.Errorf("pane %d not expired: count %v", i, p.Count())
 		}
 	}
 	if got := s.Count("k"); got != 3 {
@@ -145,7 +166,7 @@ func TestPaneSeriesLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !retained.IsEmpty() {
-		t.Errorf("retained not empty after full expiry: count %v", retained.Count)
+		t.Errorf("retained not empty after full expiry: count %v", retained.Count())
 	}
 }
 
@@ -162,7 +183,7 @@ func TestLateObservationSkipsPanes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !retained.IsEmpty() {
-		t.Errorf("late observation landed in retained window (count %v)", retained.Count)
+		t.Errorf("late observation landed in retained window (count %v)", retained.Count())
 	}
 
 	// A late observation inside the retained range lands in its own pane.
@@ -171,8 +192,8 @@ func TestLateObservationSkipsPanes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ps.Panes[1].Count != 1 {
-		t.Errorf("in-range late observation missing: %v", ps.Panes[1].Count)
+	if ps.Panes[1].Count() != 1 {
+		t.Errorf("in-range late observation missing: %v", ps.Panes[1].Count())
 	}
 }
 
@@ -190,15 +211,15 @@ func TestFutureObservationsClampToCurrentPane(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ps.Panes[len(ps.Panes)-1].Count; got != 2 {
+	if got := ps.Panes[len(ps.Panes)-1].Count(); got != 2 {
 		t.Errorf("current pane count = %v, want both observations (clamped)", got)
 	}
 	retained, err := s.Retained("k")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if retained.Count != 2 {
-		t.Errorf("retained count = %v after future-stamped ingest, want 2 (ring must not be wiped)", retained.Count)
+	if retained.Count() != 2 {
+		t.Errorf("retained count = %v after future-stamped ingest, want 2 (ring must not be wiped)", retained.Count())
 	}
 	// Mild skew — one pane ahead — clamps the same way.
 	s.AddAt("k", 5, clock.t.Add(time.Second))
@@ -222,7 +243,7 @@ func TestNegativeTimestampDoesNotPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !retained.IsEmpty() {
-		t.Errorf("pre-1970 observation landed in a pane (count %v)", retained.Count)
+		t.Errorf("pre-1970 observation landed in a pane (count %v)", retained.Count())
 	}
 }
 
@@ -256,15 +277,17 @@ func TestPanesPrefixMatchesPerKeyMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range got.Panes {
+	gotRaws := momentsPanes(t, got)
+	webRaws, apiRaws := momentsPanes(t, web), momentsPanes(t, api)
+	for i := range gotRaws {
 		want := core.New(s.Order())
-		if err := want.Merge(web.Panes[i]); err != nil {
+		if err := want.Merge(webRaws[i]); err != nil {
 			t.Fatal(err)
 		}
-		if err := want.Merge(api.Panes[i]); err != nil {
+		if err := want.Merge(apiRaws[i]); err != nil {
 			t.Fatal(err)
 		}
-		assertSketchClose(t, got.Panes[i], want, 1e-12, "prefix pane")
+		assertSketchClose(t, gotRaws[i], want, 1e-12, "prefix pane")
 	}
 
 	merged, keysMerged, err := s.RetainedPrefix(context.Background(), "us.")
@@ -274,7 +297,7 @@ func TestPanesPrefixMatchesPerKeyMerge(t *testing.T) {
 	if keysMerged != 2 {
 		t.Fatalf("RetainedPrefix merged %d keys, want 2", keysMerged)
 	}
-	assertSketchClose(t, merged, remergePanes(t, got.Panes), 1e-9, "retained prefix")
+	assertSketchClose(t, rawOf(t, merged), remergePanes(t, gotRaws), 1e-9, "retained prefix")
 }
 
 func TestPaneAccessorsErrors(t *testing.T) {
@@ -344,15 +367,16 @@ func TestWindowedSnapshotRoundTrip(t *testing.T) {
 		if got.Start != orig.Start {
 			t.Fatalf("restored series starts at pane %d, want %d", got.Start, orig.Start)
 		}
-		for i := range orig.Panes {
-			assertSketchClose(t, got.Panes[i], orig.Panes[i], 0, "pane")
+		origRaws, gotRaws := momentsPanes(t, orig), momentsPanes(t, got)
+		for i := range origRaws {
+			assertSketchClose(t, gotRaws[i], origRaws[i], 0, "pane")
 		}
 		// Restore rebuilds retained by exact re-merge of the live panes.
 		retained, err := restored.Retained(k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		assertSketchClose(t, retained, remergePanes(t, orig.Panes), 1e-9, "restored retained "+k)
+		assertSketchClose(t, rawOf(t, retained), remergePanes(t, origRaws), 1e-9, "restored retained "+k)
 	}
 
 	// Restoring after time has passed drops the panes that expired while
@@ -370,7 +394,7 @@ func TestWindowedSnapshotRoundTrip(t *testing.T) {
 	// later the live range is (p0+9, p0+17], so only p0+10 and p0+11 —
 	// series indices 0 and 1 — survive.
 	for i, p := range lateSeries.Panes {
-		if live := p.Count > 0; live != (i < 2) {
+		if live := p.Count() > 0; live != (i < 2) {
 			t.Errorf("pane %d live=%v after 5s-late restore", i, live)
 		}
 	}
@@ -421,7 +445,7 @@ func TestSnapshotVersionMismatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !retained.IsEmpty() {
-		t.Errorf("v1 restore produced non-empty panes (count %v)", retained.Count)
+		t.Errorf("v1 restore produced non-empty panes (count %v)", retained.Count())
 	}
 }
 

@@ -17,8 +17,8 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/cascade"
 	"repro/internal/core"
-	"repro/internal/encoding"
 	"repro/internal/maxent"
+	"repro/internal/sketch"
 )
 
 // ErrNoKey is returned when a queried key has no sketch.
@@ -33,9 +33,11 @@ type Observation struct {
 	At    time.Time `json:"at,omitzero"`
 }
 
-// entry is the per-key state: the all-time sketch every timeless query
+// entry is the per-key state: the all-time summary every timeless query
 // reads, plus — on windowed stores — the ring of time panes behind the
-// windowed queries. ring is nil when the store has no panes.
+// windowed queries. ring is nil when the store has no panes. The summary's
+// concrete type is fixed by the store's serving backend (moments by
+// default).
 //
 // version is the key's mutation version: every Add into the entry stamps it
 // with a fresh draw from the stripe's monotonic counter. Query-layer solve
@@ -46,7 +48,7 @@ type Observation struct {
 // entry recorded before a restore — or before a delete/re-create of the
 // same key — can never falsely match.
 type entry struct {
-	all     *core.Sketch
+	all     sketch.Serving
 	ring    *paneRing
 	version uint64
 }
@@ -67,10 +69,12 @@ type stripe struct {
 	_       [32]byte      // mutex(8) + map(8) + count(8) + version(8) + 32 = one 64-byte line
 }
 
-// Store is a sharded map from string keys to moments sketches. All methods
-// are safe for concurrent use.
+// Store is a sharded map from string keys to quantile summaries of one
+// serving backend (per-key moments sketches by default). All methods are
+// safe for concurrent use.
 type Store struct {
 	k         int
+	backend   sketch.Backend
 	mask      uint64
 	stripes   []stripe
 	solver    maxent.Options
@@ -84,6 +88,7 @@ type Option func(*storeConfig)
 
 type storeConfig struct {
 	k         int
+	backend   sketch.Backend
 	shards    int
 	solver    maxent.Options
 	paneWidth time.Duration
@@ -97,8 +102,19 @@ type storeConfig struct {
 func WithShards(n int) Option { return func(c *storeConfig) { c.shards = n } }
 
 // WithOrder sets the moments-sketch order k for new keys (default
-// core.DefaultK).
+// core.DefaultK). It only applies to the default moments backend; stores
+// built WithBackend carry their parameter in the backend itself.
 func WithOrder(k int) Option { return func(c *storeConfig) { c.k = k } }
+
+// WithBackend selects the serving summary backend for every key of the
+// store (default: the moments backend at the configured order; an explicit
+// moments backend overrides WithOrder with its own order). Non-moments
+// backends trade the moments sketch's moment structure — turnstile pane
+// expiry, threshold cascades, warm-started solves — for their own accuracy
+// profiles; the store degrades those paths per the backend's capability
+// flags (e.g. pane expiry falls back to exact re-merges when the backend
+// lacks Sub).
+func WithBackend(b sketch.Backend) Option { return func(c *storeConfig) { c.backend = b } }
 
 // WithSolverOptions sets the maximum-entropy solver options used by
 // Quantile and Threshold.
@@ -136,6 +152,14 @@ func New(opts ...Option) *Store {
 	if cfg.k < 1 || cfg.k > core.MaxK {
 		panic(fmt.Sprintf("shard: sketch order %d outside [1,%d]", cfg.k, core.MaxK))
 	}
+	if cfg.backend.IsZero() {
+		cfg.backend = sketch.MomentsBackend(cfg.k)
+	} else if o := cfg.backend.Order(); o > 0 {
+		// An explicitly supplied moments backend carries its own order; the
+		// store's k (snapshot headers, Order()) must agree with the sketches
+		// the backend actually constructs.
+		cfg.k = o
+	}
 	if cfg.paneWidth < 0 || (cfg.paneWidth > 0 && (cfg.retention < 2 || cfg.retention > MaxRetention)) {
 		panic(fmt.Sprintf("shard: window retention %d outside [2,%d]", cfg.retention, MaxRetention))
 	}
@@ -151,6 +175,7 @@ func New(opts ...Option) *Store {
 	}
 	s := &Store{
 		k:       cfg.k,
+		backend: cfg.backend,
 		mask:    uint64(n - 1),
 		stripes: make([]stripe, n),
 		solver:  cfg.solver,
@@ -166,8 +191,12 @@ func New(opts ...Option) *Store {
 	return s
 }
 
-// Order returns the sketch order used for new keys.
+// Order returns the moments-sketch order used for new keys. It is only
+// meaningful on stores serving the default moments backend.
 func (s *Store) Order() int { return s.k }
+
+// Backend returns the store's serving summary backend.
+func (s *Store) Backend() sketch.Backend { return s.backend }
 
 // NumShards returns the number of lock stripes.
 func (s *Store) NumShards() int { return len(s.stripes) }
@@ -191,9 +220,9 @@ func (s *Store) stripeFor(key string) *stripe {
 func (s *Store) entryLocked(st *stripe, key string) *entry {
 	e, ok := st.entries[key]
 	if !ok {
-		e = &entry{all: core.New(s.k)}
+		e = &entry{all: s.backend.New()}
 		if s.paneWidth > 0 {
-			e.ring = newPaneRing(s.k, s.retention)
+			e.ring = s.newPaneRing()
 		}
 		st.entries[key] = e
 	}
@@ -213,7 +242,7 @@ func (s *Store) addLocked(st *stripe, e *entry, x float64, at time.Time, nowPane
 		if p > nowPane {
 			p = nowPane
 		}
-		e.ring.observe(p, x, s.k)
+		e.ring.observe(p, x)
 	}
 	e.version = st.version.Add(1)
 }
@@ -323,17 +352,29 @@ func (b *Batch) Discard() {
 	b.n = 0
 }
 
-// Sketch returns an independent clone of the all-time sketch for key.
-func (s *Store) Sketch(key string) (*core.Sketch, bool) {
+// Summary returns an independent clone of the all-time summary for key.
+func (s *Store) Summary(key string) (sketch.Serving, bool) {
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	e, ok := st.entries[key]
-	var c *core.Sketch
+	var c sketch.Serving
 	if ok {
 		c = e.all.Clone()
 	}
 	st.mu.Unlock()
 	return c, ok
+}
+
+// Sketch returns an independent clone of the all-time moments sketch for
+// key — the moments view of Summary. ok is false when the key is absent or
+// the store serves a non-moments backend.
+func (s *Store) Sketch(key string) (*core.Sketch, bool) {
+	c, ok := s.Summary(key)
+	if !ok {
+		return nil, false
+	}
+	raw := sketch.RawMoments(c)
+	return raw, raw != nil
 }
 
 // Count returns the number of observations recorded under key (0 if the key
@@ -343,7 +384,7 @@ func (s *Store) Count(key string) float64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if e, ok := st.entries[key]; ok {
-		return e.all.Count
+		return e.all.Count()
 	}
 	return 0
 }
@@ -390,13 +431,13 @@ func (s *Store) Keys(prefix string) []string {
 	return keys
 }
 
-// Keyed pairs a key with a clone of its sketch.
+// Keyed pairs a key with a clone of its summary.
 type Keyed struct {
-	Key    string
-	Sketch *core.Sketch
+	Key     string
+	Summary sketch.Serving
 }
 
-// Match returns a clone of every (key, sketch) whose key has the given
+// Match returns a clone of every (key, summary) whose key has the given
 // prefix, sorted by key. An empty prefix matches all keys.
 func (s *Store) Match(prefix string) []Keyed {
 	out, _ := s.MatchContext(context.Background(), prefix)
@@ -416,7 +457,7 @@ func (s *Store) MatchContext(ctx context.Context, prefix string) ([]Keyed, error
 		st.mu.Lock()
 		for k, e := range st.entries {
 			if strings.HasPrefix(k, prefix) {
-				out = append(out, Keyed{Key: k, Sketch: e.all.Clone()})
+				out = append(out, Keyed{Key: k, Summary: e.all.Clone()})
 			}
 		}
 		st.mu.Unlock()
@@ -425,12 +466,12 @@ func (s *Store) MatchContext(ctx context.Context, prefix string) ([]Keyed, error
 	return out, nil
 }
 
-// MergePrefix rolls up every key with the given prefix into one sketch —
+// MergePrefix rolls up every key with the given prefix into one summary —
 // the cube-style aggregation the moments sketch is built for. It returns
-// the merged sketch and the number of per-key sketches merged. Merging
+// the merged summary and the number of per-key summaries merged. Merging
 // happens under each stripe lock without cloning, so a rollup over n keys
-// costs n vector additions.
-func (s *Store) MergePrefix(prefix string) (*core.Sketch, int, error) {
+// costs n summary merges (vector additions for the moments backend).
+func (s *Store) MergePrefix(prefix string) (sketch.Serving, int, error) {
 	return s.MergePrefixContext(context.Background(), prefix)
 }
 
@@ -442,8 +483,8 @@ func (s *Store) MergePrefix(prefix string) (*core.Sketch, int, error) {
 // floating-point rounding — is deterministic, not subject to map iteration
 // order. Query layers rely on this to return bit-identical answers for
 // repeated queries.
-func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (*core.Sketch, int, error) {
-	out := core.New(s.k)
+func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (sketch.Serving, int, error) {
+	out := s.backend.New()
 	merges := 0
 	var keys []string
 	for i := range s.stripes {
@@ -472,29 +513,43 @@ func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (*core.Sk
 }
 
 // Quantile estimates the φ-quantile of the data recorded under key. The
-// solver runs on a clone outside the stripe lock. If the maximum-entropy
-// solver fails to converge (near-discrete data), the estimate falls back to
-// inverting the guaranteed rank bounds, so a value is always returned for a
-// non-empty key.
+// estimate runs on a clone outside the stripe lock. On the moments backend,
+// if the maximum-entropy solver fails to converge (near-discrete data), the
+// estimate falls back to inverting the guaranteed rank bounds, so a value
+// is always returned for a non-empty key. Other backends answer directly
+// from their own quantile estimators.
 func (s *Store) Quantile(key string, phi float64) (float64, error) {
-	sk, ok := s.Sketch(key)
+	sum, ok := s.Summary(key)
 	if !ok {
 		return 0, ErrNoKey
 	}
-	return QuantileOf(sk, phi, s.solver)
+	if raw := sketch.RawMoments(sum); raw != nil {
+		return QuantileOf(raw, phi, s.solver)
+	}
+	if sum.IsEmpty() {
+		return 0, core.ErrEmpty
+	}
+	return sum.Quantile(phi), nil
 }
 
-// Threshold reports whether the φ-quantile under key exceeds t, resolved
-// through the paper's cascade. stats, when non-nil, accumulates per-stage
-// resolution counts.
+// Threshold reports whether the φ-quantile under key exceeds t. On the
+// moments backend it resolves through the paper's cascade (stats, when
+// non-nil, accumulates per-stage resolution counts); other backends
+// degrade to direct quantile evaluation and leave stats untouched.
 func (s *Store) Threshold(key string, t, phi float64, stats *cascade.Stats) (bool, error) {
-	sk, ok := s.Sketch(key)
+	sum, ok := s.Summary(key)
 	if !ok {
 		return false, ErrNoKey
 	}
-	cfg := cascade.Full()
-	cfg.Solver = s.solver
-	return cascade.Threshold(sk, t, phi, cfg, stats)
+	if raw := sketch.RawMoments(sum); raw != nil {
+		cfg := cascade.Full()
+		cfg.Solver = s.solver
+		return cascade.Threshold(raw, t, phi, cfg, stats)
+	}
+	if sum.IsEmpty() {
+		return false, core.ErrEmpty
+	}
+	return sum.Quantile(phi) > t, nil
 }
 
 // QuantileOf estimates the φ-quantile of a standalone sketch with the
@@ -518,7 +573,7 @@ func (s *Store) Delete(key string) bool {
 	defer st.mu.Unlock()
 	e, ok := st.entries[key]
 	if ok {
-		st.count -= e.all.Count
+		st.count -= e.all.Count()
 		delete(st.entries, key)
 		st.version.Add(1)
 	}
@@ -566,28 +621,43 @@ func (s *Store) KeyVersion(key string) (uint64, bool) {
 	return e.version, true
 }
 
-// Snapshot format: a "MDSS" magic, a format version, the store order, then
-// one length-prefixed record per key, terminated by a trailer (an
-// all-ones key-length sentinel followed by the record count) so truncation
-// — even at a record boundary — is always detectable. See internal/encoding
-// for the sketch payload codec.
+// Snapshot format: a "MDSS" magic, a format version, a version-specific
+// header, then one length-prefixed record per key, terminated by a trailer
+// (an all-ones key-length sentinel followed by the record count) so
+// truncation — even at a record boundary — is always detectable. See
+// internal/encoding and internal/sketch's codecs for the payload formats.
 //
-// Version 1 is the timeless format: each record is the key plus the
-// all-time sketch payload. Version 2 — written if and only if the store has
-// time panes — appends the pane configuration (width in nanoseconds,
-// retention) to the header and, to each record, the key's live panes as a
-// pane count followed by (absolute pane index, payload) pairs. Pane indices
-// are absolute (unix nanoseconds / width), so a restored store re-expires
-// against the wall clock: panes that aged out while the snapshot sat on
-// disk are dropped during Restore, and each key's rolling retained sketch
-// is rebuilt by an exact re-merge of the live panes (clearing any turnstile
-// floating-point drift).
+// Version 1 is the timeless moments format: a sketch-order byte in the
+// header, then each record is the key plus the all-time sketch payload.
+// Version 2 — written if and only if a moments store has time panes —
+// appends the pane configuration (width in nanoseconds, retention) to the
+// header and, to each record, the key's live panes as a pane count followed
+// by (absolute pane index, payload) pairs. Pane indices are absolute (unix
+// nanoseconds / width), so a restored store re-expires against the wall
+// clock: panes that aged out while the snapshot sat on disk are dropped
+// during Restore, and each key's rolling retained sketch is rebuilt by an
+// exact re-merge of the live panes (clearing any turnstile floating-point
+// drift).
+//
+// Version 3 is the backend-tagged format, written by stores serving a
+// non-moments backend: the header replaces the order byte with the
+// backend's length-prefixed fingerprint (e.g. "tdigest(c=100)") and a flags
+// byte whose bit 0 marks a windowed store (followed, when set, by the v2
+// pane configuration). Records carry the same key/payload/pane structure
+// with payloads in the backend's tagged-envelope codec. Restore rejects a
+// snapshot whose backend fingerprint does not match the store's, so
+// summaries from different backends — or differently parameterized ones —
+// can never be mixed. Moments stores keep writing v1/v2, byte-identical to
+// earlier releases.
 const (
 	snapMagic      = "MDSS"
 	snapVersion    = 1
 	snapVersionV2  = 2
+	snapVersionV3  = 3
 	snapEndMarker  = ^uint64(0) // key-length sentinel introducing the trailer
 	maxSnapPayload = 1 << 24    // per-sketch payload cap
+	maxFingerprint = 256        // backend fingerprint length cap (v3 header)
+	snapFlagPanes  = 1          // v3 flags bit: store has time panes
 )
 
 // MaxKeyLen is the longest key the snapshot format round-trips (1 MiB).
@@ -602,31 +672,48 @@ const MaxKeyLen = 1 << 20
 // internally consistent; keys ingested during the snapshot may or may not
 // appear.
 func (s *Store) Snapshot(w io.Writer) error {
+	if !s.backend.Caps.Snapshot {
+		return fmt.Errorf("shard: backend %s does not support snapshots", s.backend.Fingerprint())
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
+	momentsStore := s.backend.Name == "moments"
 	version := byte(snapVersion)
-	if s.paneWidth > 0 {
+	switch {
+	case !momentsStore:
+		version = snapVersionV3
+	case s.paneWidth > 0:
 		version = snapVersionV2
-	}
-	header := []byte{version, byte(s.k)}
-	if _, err := bw.Write(header); err != nil {
-		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(records []byte, v uint64) []byte {
 		n := binary.PutUvarint(scratch[:], v)
 		return append(records, scratch[:n]...)
 	}
-	if version == snapVersionV2 {
-		var hdr []byte
+	var hdr []byte
+	hdr = append(hdr, version)
+	if version == snapVersionV3 {
+		fp := s.backend.Fingerprint()
+		hdr = putUvarint(hdr, uint64(len(fp)))
+		hdr = append(hdr, fp...)
+		flags := byte(0)
+		if s.paneWidth > 0 {
+			flags |= snapFlagPanes
+		}
+		hdr = append(hdr, flags)
+	} else {
+		hdr = append(hdr, byte(s.k))
+	}
+	if s.paneWidth > 0 && version != snapVersion {
 		hdr = putUvarint(hdr, uint64(s.paneWidth))
 		hdr = putUvarint(hdr, uint64(s.retention))
-		if _, err := bw.Write(hdr); err != nil {
-			return err
-		}
 	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	writePanes := s.paneWidth > 0 && version != snapVersion
 	nowPane := int64(0)
 	if s.paneWidth > 0 {
 		nowPane = s.nowPane()
@@ -636,14 +723,19 @@ func (s *Store) Snapshot(w io.Writer) error {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		records = records[:0]
+		var marshalErr error
 		st.mu.Lock()
 		for key, e := range st.entries {
-			payload := encoding.Marshal(e.all)
+			payload, err := s.backend.Marshal(e.all)
+			if err != nil {
+				marshalErr = err
+				break
+			}
 			records = putUvarint(records, uint64(len(key)))
 			records = append(records, key...)
 			records = putUvarint(records, uint64(len(payload)))
 			records = append(records, payload...)
-			if version == snapVersionV2 {
+			if writePanes {
 				// Expire first so stale panes are not persisted; count the
 				// live panes, then emit (index, payload) pairs.
 				e.ring.advance(nowPane)
@@ -658,15 +750,25 @@ func (s *Store) Snapshot(w io.Writer) error {
 					if e.ring.slots[j].idx < 0 {
 						continue
 					}
-					pp := encoding.Marshal(e.ring.slots[j].sk)
+					pp, err := s.backend.Marshal(e.ring.slots[j].sk)
+					if err != nil {
+						marshalErr = err
+						break
+					}
 					records = putUvarint(records, uint64(e.ring.slots[j].idx))
 					records = putUvarint(records, uint64(len(pp)))
 					records = append(records, pp...)
+				}
+				if marshalErr != nil {
+					break
 				}
 			}
 			total++
 		}
 		st.mu.Unlock()
+		if marshalErr != nil {
+			return marshalErr
+		}
 		if _, err := bw.Write(records); err != nil {
 			return err
 		}
@@ -689,7 +791,7 @@ func (s *Store) Snapshot(w io.Writer) error {
 // leaves the store untouched.
 func (s *Store) Restore(r io.Reader) error {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(snapMagic)+2)
+	head := make([]byte, len(snapMagic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return fmt.Errorf("shard: reading snapshot header: %w", err)
 	}
@@ -697,13 +799,7 @@ func (s *Store) Restore(r io.Reader) error {
 		return errors.New("shard: not a snapshot stream (bad magic)")
 	}
 	version := head[len(snapMagic)]
-	if version != snapVersion && version != snapVersionV2 {
-		return fmt.Errorf("shard: unsupported snapshot version %d", version)
-	}
-	if k := int(head[len(snapMagic)+1]); k != s.k {
-		return fmt.Errorf("shard: snapshot order k=%d does not match store order k=%d", k, s.k)
-	}
-	if version == snapVersionV2 {
+	readPaneConfig := func() error {
 		width, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("shard: reading snapshot pane config: %w", err)
@@ -713,23 +809,74 @@ func (s *Store) Restore(r io.Reader) error {
 			return fmt.Errorf("shard: reading snapshot pane config: %w", err)
 		}
 		if s.paneWidth <= 0 {
-			return errors.New("shard: windowed (v2) snapshot into a store without time panes")
+			return errors.New("shard: windowed snapshot into a store without time panes")
 		}
 		if int64(width) != s.paneWidth || int(retention) != s.retention {
 			return fmt.Errorf("shard: snapshot pane config (width=%s, retention=%d) does not match store (width=%s, retention=%d)",
 				time.Duration(width), retention, time.Duration(s.paneWidth), s.retention)
 		}
+		return nil
+	}
+	snapPanes := false
+	switch version {
+	case snapVersion, snapVersionV2:
+		// Implicitly a moments snapshot: the order byte is the whole
+		// backend identity.
+		kb, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("shard: reading snapshot header: %w", err)
+		}
+		k := int(kb)
+		if s.backend.Name != "moments" {
+			return fmt.Errorf("shard: snapshot backend moments(k=%d) does not match store backend %s", k, s.backend.Fingerprint())
+		}
+		if k != s.k {
+			return fmt.Errorf("shard: snapshot order k=%d does not match store order k=%d", k, s.k)
+		}
+		if version == snapVersionV2 {
+			if err := readPaneConfig(); err != nil {
+				return err
+			}
+			snapPanes = true
+		}
+	case snapVersionV3:
+		fpLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("shard: reading snapshot backend fingerprint: %w", err)
+		}
+		if fpLen > maxFingerprint {
+			return errors.New("shard: implausible backend fingerprint length in snapshot")
+		}
+		fp := make([]byte, fpLen)
+		if _, err := io.ReadFull(br, fp); err != nil {
+			return fmt.Errorf("shard: reading snapshot backend fingerprint: %w", err)
+		}
+		if string(fp) != s.backend.Fingerprint() {
+			return fmt.Errorf("shard: snapshot backend %s does not match store backend %s", fp, s.backend.Fingerprint())
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("shard: reading snapshot header: %w", err)
+		}
+		if flags&snapFlagPanes != 0 {
+			if err := readPaneConfig(); err != nil {
+				return err
+			}
+			snapPanes = true
+		}
+	default:
+		return fmt.Errorf("shard: unsupported snapshot version %d", version)
 	}
 
 	type stagedPane struct {
 		idx int64
-		sk  *core.Sketch
+		sk  sketch.Serving
 	}
 	type stagedEntry struct {
-		all   *core.Sketch
+		all   sketch.Serving
 		panes []stagedPane
 	}
-	readSketch := func(buf []byte) ([]byte, *core.Sketch, error) {
+	readSketch := func(buf []byte) ([]byte, sketch.Serving, error) {
 		payloadLen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return buf, nil, fmt.Errorf("shard: reading snapshot record: %w", err)
@@ -744,14 +891,14 @@ func (s *Store) Restore(r io.Reader) error {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return buf, nil, fmt.Errorf("shard: reading snapshot payload: %w", err)
 		}
-		sk, err := encoding.Unmarshal(buf)
+		sum, err := s.backend.Unmarshal(buf)
 		if err != nil {
 			return buf, nil, fmt.Errorf("shard: decoding snapshot sketch: %w", err)
 		}
-		if sk.K != s.k {
-			return buf, nil, fmt.Errorf("shard: snapshot sketch order k=%d does not match store order k=%d", sk.K, s.k)
+		if raw := sketch.RawMoments(sum); raw != nil && raw.K != s.k {
+			return buf, nil, fmt.Errorf("shard: snapshot sketch order k=%d does not match store order k=%d", raw.K, s.k)
 		}
-		return buf, sk, nil
+		return buf, sum, nil
 	}
 
 	staged := make(map[string]*stagedEntry)
@@ -782,7 +929,7 @@ func (s *Store) Restore(r io.Reader) error {
 		if buf, se.all, err = readSketch(buf); err != nil {
 			return err
 		}
-		if version == snapVersionV2 {
+		if snapPanes {
 			paneCount, err := binary.ReadUvarint(br)
 			if err != nil {
 				return fmt.Errorf("shard: reading snapshot pane count: %w", err)
@@ -803,7 +950,7 @@ func (s *Store) Restore(r io.Reader) error {
 					return fmt.Errorf("shard: duplicate pane index %d in snapshot", idx)
 				}
 				seen[int64(idx)] = true
-				var sk *core.Sketch
+				var sk sketch.Serving
 				if buf, sk, err = readSketch(buf); err != nil {
 					return err
 				}
@@ -832,7 +979,7 @@ func (s *Store) Restore(r io.Reader) error {
 		}
 		e := &entry{all: se.all}
 		if s.paneWidth > 0 {
-			e.ring = newPaneRing(s.k, s.retention)
+			e.ring = s.newPaneRing()
 			e.ring.advance(nowPane)
 			for _, p := range se.panes {
 				e.ring.restorePane(p.idx, p.sk)
@@ -847,7 +994,7 @@ func (s *Store) Restore(r io.Reader) error {
 		}
 		count := 0.0
 		for _, e := range entries {
-			count += e.all.Count
+			count += e.all.Count()
 		}
 		st := &s.stripes[i]
 		st.mu.Lock()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/maxent"
+	"repro/internal/sketch"
 )
 
 func TestContextHelpers(t *testing.T) {
@@ -27,8 +28,8 @@ func TestContextHelpers(t *testing.T) {
 		t.Fatalf("MatchContext = %d keys, err %v", len(got), err)
 	}
 	merged, merges, err := s.MergePrefixContext(context.Background(), "svc.")
-	if err != nil || merges != 64 || merged.Count != 64 {
-		t.Fatalf("MergePrefixContext = %d merges (count %v), err %v", merges, merged.Count, err)
+	if err != nil || merges != 64 || merged.Count() != 64 {
+		t.Fatalf("MergePrefixContext = %d merges (count %v), err %v", merges, merged.Count(), err)
 	}
 
 	// A canceled context aborts both scans with ctx.Err().
@@ -55,15 +56,17 @@ func TestMergePrefixDeterministic(t *testing.T) {
 			s.Add(key, math.Exp(rng.NormFloat64()*3))
 		}
 	}
-	first, merges, err := s.MergePrefix("d.")
+	firstSum, merges, err := s.MergePrefix("d.")
 	if err != nil || merges != 200 {
 		t.Fatalf("MergePrefix: merges %d, err %v", merges, err)
 	}
+	first := rawOf(t, firstSum)
 	for round := 0; round < 5; round++ {
-		again, _, err := s.MergePrefix("d.")
+		againSum, _, err := s.MergePrefix("d.")
 		if err != nil {
 			t.Fatal(err)
 		}
+		again := rawOf(t, againSum)
 		for i := range first.Pow {
 			if again.Pow[i] != first.Pow[i] || again.LogPow[i] != first.LogPow[i] {
 				t.Fatalf("round %d: power sums differ at order %d: %v vs %v",
@@ -204,13 +207,14 @@ func TestMergePrefix(t *testing.T) {
 		s.Add("us.api", float64(i+50))
 		s.Add("eu.web", 1e6)
 	}
-	merged, merges, err := s.MergePrefix("us.")
+	mergedSum, merges, err := s.MergePrefix("us.")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if merges != 2 {
 		t.Errorf("merges = %d, want 2", merges)
 	}
+	merged := rawOf(t, mergedSum)
 	if merged.Count != 100 || merged.Min != 0 || merged.Max != 99 {
 		t.Errorf("merged: count=%v min=%v max=%v", merged.Count, merged.Min, merged.Max)
 	}
@@ -453,8 +457,8 @@ func TestConcurrentIngestMatchesOracle(t *testing.T) {
 				if sk, _, err := s.MergePrefix("grp1."); err != nil {
 					t.Error(err)
 					return
-				} else if sk.Count > 0 {
-					_, _ = QuantileOf(sk, 0.5, maxent.Options{})
+				} else if raw := sketch.RawMoments(sk); raw != nil && raw.Count > 0 {
+					_, _ = QuantileOf(raw, 0.5, maxent.Options{})
 				}
 				s.Len()
 				var sink bytes.Buffer

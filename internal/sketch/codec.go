@@ -1,0 +1,352 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/encoding"
+	"repro/moments"
+)
+
+// Envelope tags, one per serializable backend family. The moments sketch's
+// own layouts (internal/encoding's "MS"/"ML" magics) are self-describing,
+// so moments payloads travel bare — byte-identical to every earlier release
+// — and only the other families wrap in internal/encoding's tagged
+// envelope.
+const (
+	tagMoments  byte = 1
+	tagMerge12  byte = 2
+	tagTDigest  byte = 3
+	tagSampling byte = 4
+)
+
+// maxCodecItems bounds any single decoded slice length, so a corrupt or
+// hostile payload cannot demand an arbitrary allocation before failing.
+const maxCodecItems = 1 << 22
+
+// Marshal serializes a serving summary of this backend's family. The
+// moments backend emits the bare full-precision moments layout; the other
+// families emit their payload wrapped in the tagged envelope. Backends
+// without the Snapshot capability return an error.
+func (b Backend) Marshal(s Serving) ([]byte, error) {
+	if !b.Caps.Snapshot {
+		return nil, fmt.Errorf("sketch: backend %s does not support serialization", b.Fingerprint())
+	}
+	switch b.tag {
+	case tagMoments:
+		m, ok := s.(*MSketch)
+		if !ok {
+			return nil, ErrTypeMismatch
+		}
+		return encoding.Marshal(m.S.Raw()), nil
+	case tagMerge12:
+		m, ok := s.(*Merge12)
+		if !ok {
+			return nil, ErrTypeMismatch
+		}
+		return encoding.MarshalEnvelope(tagMerge12, m.appendPayload(nil)), nil
+	case tagTDigest:
+		t, ok := s.(*TDigest)
+		if !ok {
+			return nil, ErrTypeMismatch
+		}
+		return encoding.MarshalEnvelope(tagTDigest, t.appendPayload(nil)), nil
+	case tagSampling:
+		sa, ok := s.(*Sampling)
+		if !ok {
+			return nil, ErrTypeMismatch
+		}
+		return encoding.MarshalEnvelope(tagSampling, sa.appendPayload(nil)), nil
+	}
+	return nil, fmt.Errorf("sketch: backend %s has no codec", b.Fingerprint())
+}
+
+// Unmarshal decodes a summary previously produced by Marshal on the same
+// backend family. Moments accepts both the full- and low-precision bare
+// layouts; other families require the envelope and reject payloads tagged
+// for a different family with ErrTypeMismatch.
+func (b Backend) Unmarshal(data []byte) (Serving, error) {
+	if !b.Caps.Snapshot {
+		return nil, fmt.Errorf("sketch: backend %s does not support serialization", b.Fingerprint())
+	}
+	if b.tag == tagMoments {
+		if encoding.IsEnveloped(data) {
+			return nil, ErrTypeMismatch
+		}
+		var s moments.Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return &MSketch{S: &s}, nil
+	}
+	tag, payload, err := encoding.UnmarshalEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if tag != b.tag {
+		return nil, ErrTypeMismatch
+	}
+	switch tag {
+	case tagMerge12:
+		return unmarshalMerge12(payload, b.param)
+	case tagTDigest:
+		return unmarshalTDigest(payload, b.param)
+	case tagSampling:
+		return unmarshalSampling(payload, b.param)
+	}
+	return nil, fmt.Errorf("sketch: backend %s has no codec", b.Fingerprint())
+}
+
+// --- little codec helpers -------------------------------------------------
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], v)
+	return append(buf, scratch[:n]...)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+	return append(buf, scratch[:]...)
+}
+
+func appendF64s(buf []byte, vs []float64) []byte {
+	buf = appendUvarint(buf, uint64(len(vs)))
+	for _, v := range vs {
+		buf = appendF64(buf, v)
+	}
+	return buf
+}
+
+// codecReader walks a payload, latching the first error.
+type codecReader struct {
+	data []byte
+	err  error
+}
+
+func (r *codecReader) fail() {
+	if r.err == nil {
+		r.err = encoding.ErrCorrupt
+	}
+	r.data = nil
+}
+
+func (r *codecReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *codecReader) count() int {
+	v := r.uvarint()
+	if v > maxCodecItems {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *codecReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *codecReader) f64s() []float64 {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	// Check the claimed length against the remaining payload before
+	// allocating, so a tiny hostile record cannot demand a large buffer.
+	if len(r.data) < 8*n {
+		r.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (r *codecReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return encoding.ErrCorrupt
+	}
+	return nil
+}
+
+// --- Merge12 --------------------------------------------------------------
+
+// payload: k, n, base, levelCount, per level (present flag as length with
+// ^0 sentinel for nil), rng.
+func (s *Merge12) appendPayload(buf []byte) []byte {
+	buf = appendUvarint(buf, uint64(s.k))
+	buf = appendF64(buf, s.n)
+	buf = appendF64s(buf, s.base)
+	buf = appendUvarint(buf, uint64(len(s.levels)))
+	for _, lvl := range s.levels {
+		if lvl == nil {
+			buf = appendUvarint(buf, 0)
+			continue
+		}
+		buf = appendF64s(buf, lvl)
+	}
+	buf = appendUvarint(buf, s.rng)
+	return buf
+}
+
+func unmarshalMerge12(payload []byte, wantK int) (*Merge12, error) {
+	r := &codecReader{data: payload}
+	k := r.count()
+	n := r.f64()
+	base := r.f64s()
+	numLevels := r.count()
+	var levels [][]float64
+	if r.err == nil && numLevels > 0 {
+		if numLevels > len(r.data) { // ≥ 1 byte per level remains
+			r.fail()
+		} else {
+			levels = make([][]float64, numLevels)
+			for i := range levels {
+				levels[i] = r.f64s()
+			}
+		}
+	}
+	rng := r.uvarint()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	// The buffer parameter must match the decoding backend's own: a payload
+	// cannot smuggle in a different k — which also bounds the base-buffer
+	// allocation to what the operator configured.
+	if k != wantK {
+		return nil, ErrTypeMismatch
+	}
+	if k < 2 || k%2 == 1 || len(base) > 2*k || n < 0 {
+		return nil, encoding.ErrCorrupt
+	}
+	for _, lvl := range levels {
+		if lvl != nil && len(lvl) != k {
+			return nil, encoding.ErrCorrupt
+		}
+	}
+	out := NewMerge12(k)
+	out.n = n
+	out.base = append(out.base, base...)
+	out.levels = levels
+	out.rng = rng
+	return out, nil
+}
+
+// --- TDigest --------------------------------------------------------------
+
+// payload: compression, n, min, max, centroid count, (mean, count) pairs.
+// The scratch buffer is flushed before encoding, so only centroids travel.
+func (t *TDigest) appendPayload(buf []byte) []byte {
+	t.compress()
+	buf = appendF64(buf, t.compression)
+	buf = appendF64(buf, t.n)
+	buf = appendF64(buf, t.min)
+	buf = appendF64(buf, t.max)
+	buf = appendUvarint(buf, uint64(len(t.cs)))
+	for _, c := range t.cs {
+		buf = appendF64(buf, c.mean)
+		buf = appendF64(buf, c.count)
+	}
+	return buf
+}
+
+func unmarshalTDigest(payload []byte, wantCompression int) (*TDigest, error) {
+	r := &codecReader{data: payload}
+	compression := r.f64()
+	n := r.f64()
+	min, max := r.f64(), r.f64()
+	numCs := r.count()
+	var cs []tdCentroid
+	if r.err == nil && numCs > 0 {
+		if len(r.data) < 16*numCs {
+			r.fail()
+		} else {
+			cs = make([]tdCentroid, numCs)
+			for i := range cs {
+				cs[i] = tdCentroid{mean: r.f64(), count: r.f64()}
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	// The compression must match the decoding backend's own: an unbounded
+	// payload value would otherwise size the constructor's scratch buffer
+	// (and can overflow the int conversion outright).
+	if compression != float64(wantCompression) {
+		return nil, ErrTypeMismatch
+	}
+	if !(compression >= 10) || math.IsNaN(n) || n < 0 {
+		return nil, encoding.ErrCorrupt
+	}
+	out := NewTDigest(compression)
+	out.n = n
+	out.min, out.max = min, max
+	out.cs = cs
+	return out, nil
+}
+
+// --- Sampling -------------------------------------------------------------
+
+// payload: reservoir size, n, items, rng.
+func (s *Sampling) appendPayload(buf []byte) []byte {
+	buf = appendUvarint(buf, uint64(s.size))
+	buf = appendF64(buf, s.n)
+	buf = appendF64s(buf, s.items)
+	buf = appendUvarint(buf, s.rng)
+	return buf
+}
+
+func unmarshalSampling(payload []byte, wantSize int) (*Sampling, error) {
+	r := &codecReader{data: payload}
+	size := r.count()
+	n := r.f64()
+	items := r.f64s()
+	rng := r.uvarint()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	// The reservoir size must match the decoding backend's own, bounding
+	// the reservoir allocation to what the operator configured.
+	if size != wantSize {
+		return nil, ErrTypeMismatch
+	}
+	if size < 1 || len(items) > size || math.IsNaN(n) || n < 0 {
+		return nil, encoding.ErrCorrupt
+	}
+	out := NewSampling(size)
+	out.n = n
+	out.items = append(out.items, items...)
+	out.rng = rng
+	return out, nil
+}

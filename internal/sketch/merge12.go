@@ -159,6 +159,31 @@ func (s *Merge12) Quantile(phi float64) float64 {
 // Count implements Summary.
 func (s *Merge12) Count() float64 { return s.n }
 
+// Clone implements Serving.
+func (s *Merge12) Clone() Serving {
+	c := &Merge12{k: s.k, n: s.n, base: make([]float64, len(s.base), 2*s.k), rng: s.rng}
+	copy(c.base, s.base)
+	if len(s.levels) > 0 {
+		c.levels = make([][]float64, len(s.levels))
+		for i, buf := range s.levels {
+			if buf != nil {
+				c.levels[i] = append([]float64(nil), buf...)
+			}
+		}
+	}
+	return c
+}
+
+// Reset implements Serving.
+func (s *Merge12) Reset() {
+	s.n = 0
+	s.base = s.base[:0]
+	s.levels = nil
+}
+
+// IsEmpty implements Serving.
+func (s *Merge12) IsEmpty() bool { return s.n <= 0 }
+
 // SizeBytes implements Summary.
 func (s *Merge12) SizeBytes() int {
 	n := len(s.base)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/bounds"
+	"repro/internal/core"
 	"repro/moments"
 )
 
@@ -58,3 +59,25 @@ func (m *MSketch) Count() float64 { return m.S.Count() }
 
 // SizeBytes implements Summary.
 func (m *MSketch) SizeBytes() int { return m.S.SizeBytes() }
+
+// Clone implements Serving.
+func (m *MSketch) Clone() Serving { return &MSketch{S: m.S.Clone()} }
+
+// Reset implements Serving.
+func (m *MSketch) Reset() { m.S.Reset() }
+
+// IsEmpty implements Serving.
+func (m *MSketch) IsEmpty() bool { return m.S.Count() <= 0 }
+
+// Sub implements Subber: turnstile removal of a previously merged sketch.
+func (m *MSketch) Sub(other Serving) error {
+	o, ok := other.(*MSketch)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	return m.S.Sub(o.S)
+}
+
+// Moments implements MomentsCarrier, exposing the raw core sketch to
+// moment-structure serving paths (cascades, solves, range tightening).
+func (m *MSketch) Moments() *core.Sketch { return m.S.Raw() }

@@ -107,5 +107,19 @@ func (s *Sampling) Quantile(phi float64) float64 {
 // Count implements Summary.
 func (s *Sampling) Count() float64 { return s.n }
 
+// Clone implements Serving.
+func (s *Sampling) Clone() Serving {
+	return &Sampling{size: s.size, n: s.n, items: append([]float64(nil), s.items...), rng: s.rng}
+}
+
+// Reset implements Serving.
+func (s *Sampling) Reset() {
+	s.n = 0
+	s.items = s.items[:0]
+}
+
+// IsEmpty implements Serving.
+func (s *Sampling) IsEmpty() bool { return s.n <= 0 }
+
 // SizeBytes implements Summary.
 func (s *Sampling) SizeBytes() int { return 16 + 8*len(s.items) }

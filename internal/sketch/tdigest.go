@@ -155,6 +155,37 @@ func (t *TDigest) Quantile(phi float64) float64 {
 // Count implements Summary.
 func (t *TDigest) Count() float64 { return t.n }
 
+// Clone implements Serving.
+func (t *TDigest) Clone() Serving {
+	c := &TDigest{
+		compression: t.compression,
+		cs:          append([]tdCentroid(nil), t.cs...),
+		buf:         make([]tdCentroid, len(t.buf), cap(t.buf)),
+		n:           t.n,
+		min:         t.min,
+		max:         t.max,
+	}
+	copy(c.buf, t.buf)
+	return c
+}
+
+// Reset implements Serving.
+func (t *TDigest) Reset() {
+	t.cs = nil
+	t.buf = t.buf[:0]
+	t.n = 0
+	t.min = math.Inf(1)
+	t.max = math.Inf(-1)
+}
+
+// IsEmpty implements Serving.
+func (t *TDigest) IsEmpty() bool { return t.n <= 0 }
+
+// Compact implements Compactor: flush the scratch buffer into centroids so
+// subsequent Quantile calls mutate nothing (compress on an empty buffer is
+// a no-op) and the digest can serve concurrent readers.
+func (t *TDigest) Compact() { t.compress() }
+
 // SizeBytes implements Summary: centroids at 16 bytes plus min/max/count
 // header. Buffered points are transient and flushed before storage.
 func (t *TDigest) SizeBytes() int { return 32 + 16*len(t.cs) + 16*len(t.buf) }
