@@ -8,7 +8,8 @@
 //
 //	momentsd [-addr :7607] [-backend moments] [-k 10] [-shards N] [-sep .]
 //	         [-workers N] [-solve-cache N] [-pane-width DUR] [-panes N]
-//	         [-snapshot FILE] [-snapshot-interval DUR]
+//	         [-ingest-buffer] [-ingest-flush-size N] [-ingest-flush-interval DUR]
+//	         [-ingest-stale] [-snapshot FILE] [-snapshot-interval DUR]
 //	         [-pprof-addr ADDR]
 //
 // -backend selects the serving summary backend: the default "moments"
@@ -19,6 +20,20 @@
 // rank_bounds, histogram, stats) and the /v1/windows cascade scan return
 // the typed backend_unsupported error. Snapshots are tagged with the
 // backend and refuse to restore across backends.
+//
+// -ingest-buffer turns on thread-local buffered ingest for multi-core
+// saturation: each /ingest request accumulates into per-goroutine local
+// summaries (an O(k) vector add per observation for the moments backend)
+// outside the store's stripe locks, merged in on flush. By default every
+// request is flushed before it is acknowledged, so an ack still implies
+// visibility. With -ingest-flush-interval > 0, observations may instead
+// stay buffered across requests for up to -ingest-flush-size observations
+// or the interval, whichever comes first; query paths drain pending
+// buffers before reading (read-your-writes), unless -ingest-stale opts
+// into bounded-staleness reads. Snapshots always drain first — staleness
+// bounds visibility, never durability. Flush and pending counters appear
+// under "ingest_buffer" on /stats and /v1/stats. Backends without exact
+// merges fall back to batched striped writes.
 //
 // -solve-cache bounds the engine's cross-request solve cache (resolved
 // selections with their solved max-ent densities, invalidated by mutation
@@ -102,6 +117,10 @@ func main() {
 		solveCache   = flag.Int("solve-cache", query.DefaultSolveCacheSize, "cross-request solve cache capacity in cached rollups (group-by selections charge one per group; 0 disables)")
 		paneWidth    = flag.Duration("pane-width", 0, "time pane width; > 0 enables windowed queries (/v1/query window selections, /v1/windows)")
 		panes        = flag.Int("panes", 240, "time panes retained per key when -pane-width is set")
+		ingestBuffer = flag.Bool("ingest-buffer", false, "thread-local buffered ingest: accumulate observations outside the stripe locks, merging per-key summaries in on flush")
+		ingestSize   = flag.Int("ingest-flush-size", shard.DefaultFlushSize, "buffered observations per ingest handle that trigger an automatic flush (with -ingest-buffer)")
+		ingestEvery  = flag.Duration("ingest-flush-interval", 0, "flush ingest buffers this often, letting observations buffer across requests; 0 = flush before acknowledging each request (with -ingest-buffer)")
+		ingestStale  = flag.Bool("ingest-stale", false, "bounded-staleness reads: queries skip draining pending ingest buffers (requires -ingest-buffer and -ingest-flush-interval > 0; snapshots still drain)")
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
@@ -133,6 +152,23 @@ func main() {
 		}
 		opts = append(opts, shard.WithWindow(*paneWidth, *panes))
 	}
+	if !*ingestBuffer {
+		if *ingestEvery != 0 || *ingestStale {
+			log.Fatalf("momentsd: -ingest-flush-interval and -ingest-stale require -ingest-buffer")
+		}
+	} else {
+		if *ingestSize < 1 {
+			log.Fatalf("momentsd: -ingest-flush-size must be at least 1")
+		}
+		if *ingestEvery < 0 {
+			log.Fatalf("momentsd: -ingest-flush-interval must not be negative")
+		}
+		if *ingestStale && *ingestEvery == 0 {
+			// With request-scoped flushing every ack already implies
+			// visibility, so stale reads would silently do nothing.
+			log.Fatalf("momentsd: -ingest-stale requires -ingest-flush-interval > 0")
+		}
+	}
 	store := shard.New(opts...)
 	if *snapshotPath != "" {
 		if err := loadSnapshot(store, *snapshotPath); err != nil {
@@ -140,12 +176,22 @@ func main() {
 		}
 	}
 
+	serverOpts := []server.ServerOption{
+		server.WithKeySeparator(*sep),
+		server.WithQueryWorkers(*workers),
+		server.WithSolveCache(*solveCache),
+	}
+	if *ingestBuffer {
+		serverOpts = append(serverOpts, server.WithIngestBuffer(shard.FlusherConfig{
+			FlushSize:     *ingestSize,
+			FlushInterval: *ingestEvery,
+			Stale:         *ingestStale,
+		}))
+	}
+	handler := server.New(store, serverOpts...)
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(store,
-			server.WithKeySeparator(*sep),
-			server.WithQueryWorkers(*workers),
-			server.WithSolveCache(*solveCache)),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -212,6 +258,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("momentsd: shutdown: %v", err)
+	}
+	// Drain any cross-request ingest buffers before the final snapshot so
+	// acknowledged-but-buffered observations are never lost on shutdown.
+	if err := handler.Close(); err != nil {
+		log.Printf("momentsd: draining ingest buffers: %v", err)
 	}
 	if *snapshotPath != "" {
 		if err := save(); err != nil {

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/shard"
 )
 
 // readBody returns a response's raw body for byte-identity comparisons.
@@ -100,6 +103,49 @@ func TestSolveCacheHTTPInvalidation(t *testing.T) {
 	readBody(t, postJSON(t, ts.URL+"/v1/query", query))
 	if hits, misses, _ = solveCacheCounters(t, ts.URL); hits != 2 || misses != 2 {
 		t.Fatalf("post-invalidation refill: hits=%v misses=%v", hits, misses)
+	}
+}
+
+// TestSolveCacheBufferedIngestInvalidation pins the PR-4/PR-6 interaction:
+// with cross-request buffered ingest, a query's read barrier drains pending
+// buffers first, the flush stamps fresh mutation versions, and the solve
+// cache therefore misses instead of serving an answer that predates
+// acknowledged-but-buffered observations. The cache must stay byte-stable
+// while nothing is buffered, even across barrier drains.
+func TestSolveCacheBufferedIngestInvalidation(t *testing.T) {
+	ts, _, _ := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 1 << 20, FlushInterval: time.Hour})
+
+	var ingest strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&ingest, `{"key":"api.h%d","value":%d}`+"\n", i%4, 10+i%23)
+	}
+	wantStatus(t, postNDJSON(t, ts.URL, ingest.String()), http.StatusOK)
+
+	const query = `{"queries":[{"id":"p99","select":{"prefix":"api."},
+		"aggregations":[{"op":"quantiles","phis":[0.5,0.99]},{"op":"stats"}]}]}`
+
+	first := readBody(t, postJSON(t, ts.URL+"/v1/query", query))
+	second := readBody(t, postJSON(t, ts.URL+"/v1/query", query))
+	if second != first {
+		t.Errorf("cached response not byte-identical with empty buffers:\n%s\n%s", first, second)
+	}
+	if hits, misses, _ := solveCacheCounters(t, ts.URL); hits != 1 || misses != 1 {
+		t.Fatalf("after repeat query: hits=%v misses=%v", hits, misses)
+	}
+
+	// Buffer an outlier into a covered key without any explicit flush: the
+	// next query must drain it, miss the cache, and surface the new max.
+	m := wantStatus(t, postNDJSON(t, ts.URL, `{"key":"api.h1","value":1000000}`+"\n"), http.StatusOK)
+	if m["buffered"] != true {
+		t.Fatalf("outlier ingest not buffered: %v", m)
+	}
+	third := readBody(t, postJSON(t, ts.URL+"/v1/query", query))
+	if hits, misses, _ := solveCacheCounters(t, ts.URL); hits != 1 || misses != 2 {
+		t.Fatalf("after buffered covered-key ingest: hits=%v misses=%v (stale hit?)", hits, misses)
+	}
+	if !strings.Contains(third, "1e+06") && !strings.Contains(third, "1000000") {
+		t.Errorf("fresh response does not reflect the buffered outlier: %s", third)
 	}
 }
 

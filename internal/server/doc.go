@@ -36,7 +36,13 @@
 //
 // Ingest hot path: request bodies are decoded into pooled shard.Batch
 // buffers, so steady-state ingest takes each stripe lock once per request
-// and allocates only what encoding/json itself needs. Queries clone the
+// and allocates only what encoding/json itself needs. With
+// WithIngestBuffer (momentsd -ingest-buffer) the validated batch is
+// absorbed into a pooled thread-local shard.Local handle instead —
+// per-key accumulation outside the stripe locks, flushed before the ack
+// by default or across requests on a flush interval, in which case the
+// response carries "buffered": true and the ingest_buffer counters on
+// /v1/stats track pending/flushed observations. Queries clone the
 // fixed-size sketch under the stripe lock and run estimation outside it,
 // so slow maximum-entropy solves never block writers; see internal/query
 // for the planner/executor (selection dedup, bounded worker pool, memoized

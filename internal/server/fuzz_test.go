@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// FuzzDecodeNDJSON throws hostile byte streams at the ingest hot path.
+// The decoder sits in front of every buffered handle, so the invariants it
+// must hold are load-bearing for the whole buffered-ingest design:
+//
+//   - never panic, whatever the bytes;
+//   - on error, the batch Discards cleanly and the store stays untouched;
+//   - on success, every accepted observation has a non-empty bounded key
+//     and a finite value, the flush count matches the store's total, and
+//     the store's aggregate state remains finite.
+//
+// Seed corpus lives in testdata/fuzz/FuzzDecodeNDJSON; CI runs a short
+// fuzz pass on top of the corpus replay that plain `go test` performs.
+func FuzzDecodeNDJSON(f *testing.F) {
+	f.Add([]byte("{\"key\":\"a\",\"value\":1}\n{\"key\":\"b\",\"value\":2.5}\n"))
+	f.Add([]byte("{\"key\":\"a\",\"value\":1,\"ts\":1700000000.25}\n"))
+	f.Add([]byte("{\"key\":\"a\"}\n"))                           // missing value
+	f.Add([]byte("{\"key\":\"\",\"value\":1}\n"))                // empty key
+	f.Add([]byte("{\"key\":\"a\",\"value\":\"12\"}\n"))          // value as string
+	f.Add([]byte("{\"key\":\"a\",\"value\":1e999}\n"))           // overflows float64
+	f.Add([]byte("{\"key\":\"a\",\"value\":NaN}\n"))             // not JSON at all
+	f.Add([]byte("{\"key\":\"a\",\"value\":1,\"ts\":1.7e12}\n")) // ms-unit ts
+	f.Add([]byte("{\"key\":\"a\",\"value\":1,\"ts\":-5}\n"))     // negative ts
+	f.Add([]byte("{\"key\":\"a\",\"value\":1,\"ts\":9.3e9}\n"))  // ts past the nanosecond horizon
+	f.Add([]byte("{\"key\":\"\xff\xfe\",\"value\":1}\n"))        // invalid UTF-8 key
+	f.Add([]byte("{\"key\":\"a\",\"value\":1}"))                 // no trailing newline
+	f.Add([]byte("\n\n  \n{\"key\":\"a\",\"value\":1}\n\r\n"))   // blank/whitespace lines
+	f.Add([]byte("{\"key\":\"a\",\"value\":1}\n{\"key\":\"b\"")) // truncated mid-object
+	f.Add([]byte("[{\"key\":\"a\",\"value\":1}]\n"))             // array where a line object belongs
+	f.Add([]byte("{\"key\":\"" + strings.Repeat("k", shard.MaxKeyLen+1) + "\",\"value\":1}\n"))
+	f.Add([]byte("{\"value\":1,\"key\":\"a\",\"value\":2}\n")) // duplicate field
+	f.Add([]byte{0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := shard.New(shard.WithShards(2))
+		batch := store.NewBatch()
+		err := decodeNDJSON(bytes.NewReader(data), batch)
+		if err != nil {
+			// A rejected stream must leave no residue once discarded —
+			// this mirrors handleIngest's deferred Discard.
+			batch.Discard()
+			if got := store.TotalCount(); got != 0 {
+				t.Fatalf("decode error %v but store has %v observations", err, got)
+			}
+			return
+		}
+		n := batch.Flush()
+		if got := store.TotalCount(); got != float64(n) {
+			t.Fatalf("flushed %d observations but TotalCount = %v", n, got)
+		}
+		for _, key := range store.Keys("") {
+			if key == "" || len(key) > shard.MaxKeyLen {
+				t.Fatalf("accepted out-of-bounds key %q (len %d)", key, len(key))
+			}
+			if c := store.Count(key); math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+				t.Fatalf("key %q: non-finite or non-positive count %v", key, c)
+			}
+		}
+	})
+}

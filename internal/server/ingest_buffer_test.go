@@ -1,0 +1,234 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// newBufferedServer is newTestServer plus access to the *Server itself, so
+// buffered-ingest tests can reach the flusher and its counters.
+func newBufferedServer(t *testing.T, cfg shard.FlusherConfig) (*httptest.Server, *Server, *shard.Store) {
+	t.Helper()
+	store := shard.New(shard.WithShards(8))
+	srv := New(store, WithIngestBuffer(cfg))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
+	return ts, srv, store
+}
+
+func postNDJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// Request-scoped mode (FlushInterval 0): every request is flushed before
+// the ack, so responses carry no "buffered" marker and observations are
+// visible immediately — the buffer only changes who pays for stripe locks,
+// never what an acknowledged client may read.
+func TestIngestBufferedRequestScoped(t *testing.T) {
+	ts, srv, store := newBufferedServer(t, shard.FlusherConfig{FlushSize: 1 << 20})
+
+	m := wantStatus(t, postNDJSON(t, ts.URL,
+		"{\"key\":\"a\",\"value\":1}\n{\"key\":\"a\",\"value\":2}\n{\"key\":\"b\",\"value\":3}\n"), http.StatusOK)
+	if m["ingested"].(float64) != 3 {
+		t.Errorf("ingested = %v, want 3", m["ingested"])
+	}
+	if _, ok := m["buffered"]; ok {
+		t.Errorf("request-scoped response unexpectedly marked buffered: %v", m)
+	}
+	if got := store.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %v, want 2 (ack must imply visibility)", got)
+	}
+	fs := srv.Flusher().Stats()
+	if fs.Flushes == 0 || fs.FlushedObs != 3 {
+		t.Errorf("stats = %+v, want at least one flush covering 3 observations", fs)
+	}
+	if fs.Pending != 0 {
+		t.Errorf("pending = %d after request-scoped ingest, want 0", fs.Pending)
+	}
+}
+
+// Cross-request mode (FlushInterval > 0): the ack marks the response
+// "buffered", and with barriers on (Stale false) any read drains first —
+// read-your-writes holds even though nothing was explicitly flushed.
+func TestIngestBufferedCrossRequest(t *testing.T) {
+	ts, srv, store := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 1 << 20, FlushInterval: time.Hour})
+
+	m := wantStatus(t, postNDJSON(t, ts.URL,
+		"{\"key\":\"a\",\"value\":1}\n{\"key\":\"a\",\"value\":2}\n"), http.StatusOK)
+	if m["ingested"].(float64) != 2 {
+		t.Errorf("ingested = %v, want 2", m["ingested"])
+	}
+	if m["buffered"] != true {
+		t.Errorf("cross-request response not marked buffered: %v", m)
+	}
+	if got := store.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %v, want 2 (read barrier must drain)", got)
+	}
+	if fs := srv.Flusher().Stats(); fs.Drains == 0 {
+		t.Errorf("stats = %+v, want the read to register a barrier drain", fs)
+	}
+}
+
+// A rejected request must not disturb buffered data a previous request was
+// already acknowledged for: the decode error discards only its own batch.
+func TestIngestBufferedRejectKeepsPriorData(t *testing.T) {
+	ts, _, store := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 1 << 20, FlushInterval: time.Hour})
+
+	wantStatus(t, postNDJSON(t, ts.URL, "{\"key\":\"good\",\"value\":7}\n"), http.StatusOK)
+	resp := postNDJSON(t, ts.URL, "{\"key\":\"good\",\"value\":8}\n{\"key\":\"bad\"}\n")
+	wantStatus(t, resp, http.StatusBadRequest)
+	if got := store.Count("good"); got != 1 {
+		t.Errorf("Count(good) = %v, want exactly the acknowledged observation", got)
+	}
+}
+
+// Stale mode: reads skip the drain barrier, so buffered observations are
+// invisible until a flush — but the staleness is bounded and an explicit
+// flush catches reads fully up. Snapshots drain regardless.
+func TestIngestBufferedStaleVisibility(t *testing.T) {
+	ts, srv, store := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 1 << 20, FlushInterval: time.Hour, Stale: true})
+
+	wantStatus(t, postNDJSON(t, ts.URL, "{\"key\":\"a\",\"value\":1}\n{\"key\":\"a\",\"value\":2}\n"), http.StatusOK)
+	if got := store.Count("a"); got != 0 {
+		t.Errorf("stale Count(a) = %v, want 0 before any flush", got)
+	}
+	if fs := srv.Flusher().Stats(); fs.Pending != 2 {
+		t.Errorf("pending = %d, want 2", fs.Pending)
+	}
+	srv.Flusher().Flush()
+	if got := store.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %v after explicit flush, want 2", got)
+	}
+}
+
+// GET /snapshot with buffered observations pending must include them: the
+// snapshot barrier drains even in stale mode, so a snapshot/restore cycle
+// never drops acknowledged data.
+func TestIngestBufferedSnapshotDrains(t *testing.T) {
+	ts, _, _ := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 1 << 20, FlushInterval: time.Hour, Stale: true})
+
+	wantStatus(t, postNDJSON(t, ts.URL, "{\"key\":\"a\",\"value\":5}\n{\"key\":\"b\",\"value\":6}\n"), http.StatusOK)
+	snap, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Body.Close()
+	if snap.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", snap.StatusCode)
+	}
+
+	restored := shard.New(shard.WithShards(8))
+	if err := restored.Restore(snap.Body); err != nil {
+		t.Fatalf("restoring snapshot: %v", err)
+	}
+	if got := restored.TotalCount(); got != 2 {
+		t.Errorf("restored TotalCount = %v, want 2 (snapshot must drain buffers)", got)
+	}
+}
+
+// The /v1/stats ingest_buffer section must report the flusher's counters,
+// and plain servers must report enabled=false.
+func TestStatsIngestBufferSection(t *testing.T) {
+	plain, _ := newTestServer(t)
+	m := wantStatus(t, mustGet(t, plain.URL+"/v1/stats"), http.StatusOK)
+	ib, ok := m["ingest_buffer"].(map[string]any)
+	if !ok || ib["enabled"] != false {
+		t.Errorf("plain server ingest_buffer = %v, want enabled=false", m["ingest_buffer"])
+	}
+
+	ts, _, _ := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 512, FlushInterval: time.Hour, Stale: true})
+	wantStatus(t, postNDJSON(t, ts.URL, "{\"key\":\"a\",\"value\":1}\n"), http.StatusOK)
+	m = wantStatus(t, mustGet(t, ts.URL+"/v1/stats"), http.StatusOK)
+	ib, ok = m["ingest_buffer"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing ingest_buffer section: %v", m)
+	}
+	for field, want := range map[string]any{
+		"enabled":                true,
+		"stale":                  true,
+		"flush_each_request":     false,
+		"flush_size":             512.0,
+		"flush_interval_seconds": 3600.0,
+		"pending":                1.0,
+	} {
+		if got := ib[field]; got != want {
+			t.Errorf("ingest_buffer[%q] = %v, want %v", field, got, want)
+		}
+	}
+	for _, field := range []string{"handles", "flushes", "flushed_obs", "drains"} {
+		if _, ok := ib[field]; !ok {
+			t.Errorf("ingest_buffer missing counter %q", field)
+		}
+	}
+}
+
+// Concurrent buffered ingest through the full HTTP stack: many clients,
+// both content types, interleaved queries — then a final flush must land
+// the store on exactly the observations acknowledged. This is the
+// HTTP-level analogue of the shard package's oracle suite.
+func TestIngestBufferedConcurrentHTTP(t *testing.T) {
+	ts, srv, store := newBufferedServer(t,
+		shard.FlusherConfig{FlushSize: 64, FlushInterval: time.Hour})
+
+	const clients, requests, perRequest = 8, 20, 10
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			var err error
+			defer func() { errc <- err }()
+			for r := 0; r < requests; r++ {
+				var sb strings.Builder
+				for i := 0; i < perRequest; i++ {
+					fmt.Fprintf(&sb, "{\"key\":\"load.%d\",\"value\":1}\n", c%4)
+				}
+				var resp *http.Response
+				resp, err = http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(sb.String()))
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("client %d: ingest status %d", c, resp.StatusCode)
+					return
+				}
+				if r%5 == 0 {
+					resp, err = http.Get(ts.URL + "/quantile?key=load.0&q=0.5")
+					if err != nil {
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Flusher().Flush()
+	if got, want := store.TotalCount(), float64(clients*requests*perRequest); got != want {
+		t.Errorf("TotalCount = %v, want %v (no acknowledged observation may be lost or duplicated)", got, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,17 @@ type Server struct {
 	start      time.Time
 
 	batches sync.Pool
+
+	// Buffered ingest (see WithIngestBuffer): flusher is nil when disabled.
+	// handles is a fixed-size pool of thread-local ingest handles; requests
+	// beyond its capacity fall back to transient handles that are closed at
+	// request end, so the flusher's registry stays bounded. flushEachRequest
+	// marks request-scoped mode: the handle drains before the request is
+	// acknowledged, so an ack implies visibility.
+	bufferCfg        *shard.FlusherConfig
+	flusher          *shard.Flusher
+	handles          chan *shard.Local
+	flushEachRequest bool
 }
 
 // ServerOption configures a Server at construction.
@@ -86,6 +98,19 @@ func WithSolveCache(n int) ServerOption {
 	}
 }
 
+// WithIngestBuffer enables thread-local buffered ingest: /ingest requests
+// accumulate into per-handle local summaries outside the store's stripe
+// locks and merge in on flush (see shard.NewFlusher). With a zero
+// FlushInterval the handle is flushed before each request is acknowledged
+// (an ack implies visibility); with a positive interval observations may
+// stay buffered across requests — the response carries "buffered": true —
+// and cfg.Stale additionally lets queries skip the drain barrier for
+// bounded-staleness reads. New panics if the store already has a flusher
+// attached.
+func WithIngestBuffer(cfg shard.FlusherConfig) ServerOption {
+	return func(s *Server) { s.bufferCfg = &cfg }
+}
+
 // New wires a Server around store.
 func New(store *shard.Store, opts ...ServerOption) *Server {
 	s := &Server{
@@ -106,6 +131,19 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 		SolveCache: s.solveCache,
 	})
 	s.batches.New = func() any { return store.NewBatch() }
+	if s.bufferCfg != nil {
+		f, err := shard.NewFlusher(store, *s.bufferCfg)
+		if err != nil {
+			panic(fmt.Sprintf("server: attaching ingest buffer: %v", err))
+		}
+		s.flusher = f
+		s.flushEachRequest = s.bufferCfg.FlushInterval == 0
+		n := 4 * runtime.GOMAXPROCS(0)
+		s.handles = make(chan *shard.Local, n)
+		for i := 0; i < n; i++ {
+			s.handles <- f.Handle()
+		}
+	}
 
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/query", s.handleQueryV1)
@@ -127,6 +165,41 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 // Engine exposes the server's query engine, e.g. for embedding callers
 // that want to bypass HTTP.
 func (s *Server) Engine() *query.Engine { return s.engine }
+
+// Flusher exposes the attached buffered-ingest coordinator (nil when the
+// server was built without WithIngestBuffer).
+func (s *Server) Flusher() *shard.Flusher { return s.flusher }
+
+// Close drains and detaches the buffered-ingest flusher, if any. Call it
+// after the HTTP server has shut down so no buffered observation outlives
+// the process unflushed.
+func (s *Server) Close() error {
+	if s.flusher == nil {
+		return nil
+	}
+	return s.flusher.Close()
+}
+
+// getHandle returns a pooled ingest handle, or a transient one (with
+// transient=true) when the pool is exhausted under burst concurrency.
+func (s *Server) getHandle() (h *shard.Local, transient bool) {
+	select {
+	case h := <-s.handles:
+		return h, false
+	default:
+		return s.flusher.Handle(), true
+	}
+}
+
+// putHandle returns a pooled handle; transient handles are flushed and
+// unregistered instead so the flusher's registry stays bounded.
+func (s *Server) putHandle(h *shard.Local, transient bool) {
+	if transient {
+		h.Close()
+		return
+	}
+	s.handles <- h
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -236,8 +309,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, query.CodeInvalid, "%v", err)
 		return
 	}
-	n := batch.Flush()
-	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
+	if s.flusher == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"ingested": batch.Flush()})
+		return
+	}
+	// Buffered path: the fully validated batch moves into a thread-local
+	// handle (per-key O(k) accumulation outside the stripe locks). The
+	// batch is the atomicity seam — a decode error above Discards it
+	// without ever touching a handle that may hold previously acknowledged
+	// cross-request data.
+	h, transient := s.getHandle()
+	n := h.AbsorbBatch(batch)
+	if s.flushEachRequest {
+		h.Flush()
+	}
+	s.putHandle(h, transient)
+	resp := map[string]any{"ingested": n}
+	if !s.flushEachRequest {
+		resp["buffered"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // decodeJSONBody accepts {"observations":[...]} or a bare [...] array.
@@ -357,6 +448,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resolved[stage.String()] = cs.Resolved[stage]
 	}
 	b := s.store.Backend()
+	ingestBuffer := map[string]any{"enabled": false}
+	if s.flusher != nil {
+		fs := s.flusher.Stats()
+		ingestBuffer = map[string]any{
+			"enabled":                true,
+			"handles":                fs.Handles,
+			"pending":                fs.Pending,
+			"flushes":                fs.Flushes,
+			"flushed_obs":            fs.FlushedObs,
+			"drains":                 fs.Drains,
+			"stale":                  fs.Stale,
+			"flush_size":             fs.FlushSize,
+			"flush_interval_seconds": fs.FlushInterval.Seconds(),
+			"flush_each_request":     s.flushEachRequest,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"keys":           s.store.Len(),
 		"observations":   s.store.TotalCount(),
@@ -369,7 +476,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries":  cs.Queries,
 			"resolved": resolved,
 		},
-		"solve_cache": s.engine.CacheStats(),
+		"solve_cache":   s.engine.CacheStats(),
+		"ingest_buffer": ingestBuffer,
 	})
 }
 

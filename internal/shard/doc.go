@@ -21,6 +21,17 @@
 // (thresholds degrade to a direct quantile comparison). Sketch returns the
 // raw moments view and reports false on non-moments backends.
 //
+// For write rates where even one stripe-lock acquisition per batch
+// contends, NewFlusher attaches thread-local buffered ingest: each
+// ingesting goroutine takes a Local handle and accumulates observations
+// into per-key local summaries (an O(k) vector add on ExactMerge-capable
+// backends; others fall back to a batched striped write), merged into the
+// stripes on size, time or explicit flush triggers. Buffered observations
+// are ordered and versioned at flush; read paths drain pending buffers
+// first (read-your-writes) unless the flusher was configured Stale, and
+// Snapshot/Restore drain regardless. See ARCHITECTURE.md "Buffered
+// ingest" for the full visibility contract.
+//
 // Every key also carries a mutation version stamped from its stripe's
 // monotonic counter (KeyVersion); Version sums the stripe counters into a
 // lock-free store-wide fingerprint. Query-layer solve caches stamp entries

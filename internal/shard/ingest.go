@@ -1,0 +1,487 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sketch"
+)
+
+// DefaultFlushSize is the per-handle buffered-observation count that
+// triggers an automatic flush when FlusherConfig.FlushSize is zero.
+const DefaultFlushSize = 4096
+
+// maxRetainedAccs bounds how many per-key local accumulators a handle keeps
+// alive across flushes for reuse. A handle that has touched more distinct
+// keys than this drops its accumulator map at flush time instead of
+// resetting it, so a high-cardinality burst cannot pin unbounded memory in
+// every ingest handle forever.
+const maxRetainedAccs = 4096
+
+// FlusherConfig configures a Flusher.
+type FlusherConfig struct {
+	// FlushSize is the number of buffered observations per handle that
+	// triggers an automatic flush into the store (default DefaultFlushSize).
+	FlushSize int
+	// FlushInterval, when positive, starts a background goroutine that
+	// flushes every handle this often, bounding how long an observation can
+	// sit in a local buffer regardless of ingest rate.
+	FlushInterval time.Duration
+	// Stale opts the store into bounded-staleness reads: read paths skip
+	// the drain barrier, so queries may miss observations still sitting in
+	// local buffers (at most FlushSize per handle, at most FlushInterval
+	// old when an interval is set). Snapshot always drains regardless — a
+	// snapshot that silently dropped buffered observations would turn the
+	// staleness bound into data loss across a restore.
+	Stale bool
+}
+
+// FlusherStats is a point-in-time snapshot of a Flusher's counters.
+type FlusherStats struct {
+	// Handles is the number of live ingest handles.
+	Handles int `json:"handles"`
+	// Pending counts buffered observations not yet flushed into the store.
+	Pending int64 `json:"pending"`
+	// Flushes counts flush operations that applied at least one observation.
+	Flushes uint64 `json:"flushes"`
+	// FlushedObs counts observations applied to the store by flushes.
+	FlushedObs uint64 `json:"flushed_obs"`
+	// Drains counts read-path barrier drains (a query, snapshot or other
+	// read arriving while observations were pending).
+	Drains uint64 `json:"drains"`
+	// Stale reports whether read paths skip the drain barrier.
+	Stale bool `json:"stale"`
+	// FlushSize and FlushInterval echo the configuration.
+	FlushSize     int           `json:"flush_size"`
+	FlushInterval time.Duration `json:"flush_interval"`
+}
+
+// Flusher coordinates thread-local buffered ingest for one Store: it hands
+// out Local handles whose observations accumulate outside the stripe locks
+// and flushes them in on size, time and explicit triggers (plus read-path
+// barriers, unless configured Stale). Flushes preserve the store's mutation
+// semantics — every touched entry is re-stamped from its stripe's monotonic
+// version counter and stripe counts stay exact — so query-layer solve
+// caches invalidate exactly as they do for direct writes.
+//
+// On backends with exact merges (the moments sketch: a merge is the same
+// O(k) vector add the paper's aggregation leans on) each handle accumulates
+// into per-key local summaries, so a flush costs one merge per touched
+// (key, pane) instead of one locked update per observation. Backends
+// without ExactMerge degrade to per-stripe batched writes (the Batch path),
+// which still amortize lock acquisitions but apply observations one by one.
+type Flusher struct {
+	store    *Store
+	size     int
+	interval time.Duration
+	stale    bool
+
+	mu      sync.Mutex
+	handles map[*Local]struct{}
+	closed  bool
+
+	// dirty counts handles holding buffered observations. Handles bump it
+	// only on empty↔non-empty transitions (once per flush cycle, not per
+	// observation), so the read barrier's fast path — one load of a counter
+	// that is almost never written — stays contention-free even under
+	// full-rate multi-core ingest.
+	dirty      atomic.Int64
+	flushes    atomic.Uint64
+	flushedObs atomic.Uint64
+	drains     atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFlusher attaches a buffered-ingest coordinator to store. At most one
+// Flusher may be attached to a store at a time; Close detaches it.
+func NewFlusher(store *Store, cfg FlusherConfig) (*Flusher, error) {
+	if cfg.FlushSize <= 0 {
+		cfg.FlushSize = DefaultFlushSize
+	}
+	if cfg.FlushInterval < 0 {
+		return nil, errors.New("shard: negative flush interval")
+	}
+	f := &Flusher{
+		store:    store,
+		size:     cfg.FlushSize,
+		interval: cfg.FlushInterval,
+		stale:    cfg.Stale,
+		handles:  make(map[*Local]struct{}),
+	}
+	if !store.flusher.CompareAndSwap(nil, f) {
+		return nil, errors.New("shard: store already has a flusher attached")
+	}
+	if f.interval > 0 {
+		f.stop = make(chan struct{})
+		f.done = make(chan struct{})
+		go f.run()
+	}
+	return f, nil
+}
+
+// run is the background time-trigger loop.
+func (f *Flusher) run() {
+	defer close(f.done)
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.Flush()
+		}
+	}
+}
+
+// Handle returns a new ingest handle. A handle buffers locally and is not
+// safe for concurrent use by multiple goroutines — give each ingest
+// goroutine its own (or pool them per request). Handles stay registered for
+// background and barrier flushes until Close; an abandoned unclosed handle
+// is still drained by triggers but leaks its registration.
+func (f *Flusher) Handle() *Local {
+	h := &Local{f: f}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		panic("shard: Handle on a closed Flusher")
+	}
+	f.handles[h] = struct{}{}
+	f.mu.Unlock()
+	return h
+}
+
+// snapshotHandles copies the live handle set without holding f.mu across
+// any handle or stripe lock.
+func (f *Flusher) snapshotHandles() []*Local {
+	f.mu.Lock()
+	out := make([]*Local, 0, len(f.handles))
+	for h := range f.handles {
+		out = append(out, h)
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// Flush drains every live handle into the store. It is the explicit
+// trigger, the time trigger's body, and the read-path barrier.
+func (f *Flusher) Flush() {
+	for _, h := range f.snapshotHandles() {
+		h.Flush()
+	}
+}
+
+// drainBarrier is the read-path hook: drain everything pending unless the
+// store opted into bounded-staleness reads (force overrides that — the
+// snapshot path drains regardless). The fast path is one atomic load.
+func (f *Flusher) drainBarrier(force bool) {
+	if f.stale && !force {
+		return
+	}
+	if f.dirty.Load() == 0 {
+		return
+	}
+	f.drains.Add(1)
+	f.Flush()
+}
+
+// Pending returns the number of buffered observations not yet flushed,
+// summed across the live handles.
+func (f *Flusher) Pending() int64 {
+	var n int64
+	for _, h := range f.snapshotHandles() {
+		n += int64(h.Len())
+	}
+	return n
+}
+
+// Stats returns a point-in-time snapshot of the flusher's counters.
+func (f *Flusher) Stats() FlusherStats {
+	f.mu.Lock()
+	n := len(f.handles)
+	f.mu.Unlock()
+	return FlusherStats{
+		Handles:       n,
+		Pending:       f.Pending(),
+		Flushes:       f.flushes.Load(),
+		FlushedObs:    f.flushedObs.Load(),
+		Drains:        f.drains.Load(),
+		Stale:         f.stale,
+		FlushSize:     f.size,
+		FlushInterval: f.interval,
+	}
+}
+
+// Close stops the time trigger, drains every handle, and detaches the
+// flusher from its store. Handles must not be used after Close.
+func (f *Flusher) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if f.stop != nil {
+		close(f.stop)
+		<-f.done
+	}
+	f.Flush()
+	f.store.flusher.CompareAndSwap(f, nil)
+	return nil
+}
+
+// localAcc is one key's thread-local accumulation: the all-time summary
+// plus, on windowed stores, one summary per time pane touched.
+type localAcc struct {
+	all   sketch.Serving
+	panes map[int64]sketch.Serving
+}
+
+// Local is a thread-local ingest buffer. Adds accumulate outside the stripe
+// locks — into per-key local summaries on ExactMerge backends, into a
+// per-stripe Batch otherwise — and reach the store when the handle flushes
+// (size trigger, the Flusher's time trigger, a read barrier, or an explicit
+// Flush). An observation is ordered, versioned and visible at its flush,
+// not at Add.
+//
+// A Local is owned by one goroutine at a time; the internal mutex exists so
+// background and barrier flushes can steal a flush from another goroutine,
+// and is uncontended on the Add fast path.
+type Local struct {
+	f  *Flusher
+	mu sync.Mutex
+
+	// Exact-merge accumulation state.
+	accs      map[string]*localAcc
+	freePanes []sketch.Serving
+
+	// Fallback state for backends without ExactMerge.
+	batch *Batch
+
+	n int
+}
+
+// Add buffers one observation stamped with the store clock's now.
+func (h *Local) Add(key string, x float64) {
+	h.AddAt(key, x, time.Time{})
+}
+
+// AddAt buffers one observation with an explicit timestamp; the zero time
+// means "now" (the buffer-add instant — unlike Batch.AddAt, which stamps at
+// flush, a Local stamps immediately so a long-buffered observation keeps
+// its true arrival pane). On windowed stores the pane is resolved — and
+// clamped to the clock's current pane — at Add time.
+func (h *Local) AddAt(key string, x float64, at time.Time) {
+	s := h.f.store
+	h.mu.Lock()
+	if !s.backend.Caps.ExactMerge {
+		if h.batch == nil {
+			h.batch = s.NewBatch()
+		}
+		h.batch.AddAt(key, x, at)
+	} else {
+		if h.accs == nil {
+			h.accs = make(map[string]*localAcc)
+		}
+		acc, ok := h.accs[key]
+		if !ok {
+			acc = &localAcc{all: s.backend.New()}
+			h.accs[key] = acc
+		}
+		acc.all.Add(x)
+		if s.paneWidth > 0 {
+			if at.IsZero() {
+				at = s.now()
+			}
+			p := s.paneIndex(at)
+			if nowPane := s.nowPane(); p > nowPane {
+				p = nowPane
+			}
+			if p >= 0 {
+				if acc.panes == nil {
+					acc.panes = make(map[int64]sketch.Serving)
+				}
+				pa, ok := acc.panes[p]
+				if !ok {
+					if n := len(h.freePanes); n > 0 {
+						pa = h.freePanes[n-1]
+						h.freePanes = h.freePanes[:n-1]
+					} else {
+						pa = s.backend.New()
+					}
+					acc.panes[p] = pa
+				}
+				pa.Add(x)
+			}
+		}
+	}
+	if h.n == 0 {
+		h.f.dirty.Add(1)
+	}
+	h.n++
+	if h.n >= h.f.size {
+		h.flushLocked()
+	}
+	h.mu.Unlock()
+}
+
+// drainInto moves every observation buffered in b into the handle and
+// resets b for reuse. Zero timestamps are stamped with the drain instant.
+func (b *Batch) drainInto(h *Local) {
+	now := b.store.now()
+	for _, i := range b.touched {
+		for _, o := range b.buckets[i] {
+			at := o.At
+			if at.IsZero() {
+				at = now
+			}
+			h.AddAt(o.Key, o.Value, at)
+		}
+		clear(b.buckets[i])
+		b.buckets[i] = b.buckets[i][:0]
+	}
+	b.touched = b.touched[:0]
+	b.n = 0
+}
+
+// AbsorbBatch moves every observation buffered in b into the handle's
+// local buffers and resets b for reuse, returning the observation count.
+// It is the validation seam for request-scoped ingest: decode and validate
+// a whole request into a Batch first — where an error can still Discard it
+// atomically without touching any previously acknowledged buffered data —
+// then absorb the survivors.
+func (h *Local) AbsorbBatch(b *Batch) int {
+	if b.store != h.f.store {
+		panic("shard: AbsorbBatch across stores")
+	}
+	n := b.Len()
+	b.drainInto(h)
+	return n
+}
+
+// Len returns the number of buffered observations in the handle.
+func (h *Local) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Flush drains the handle into the store, returning the number of
+// observations applied.
+func (h *Local) Flush() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.flushLocked()
+}
+
+// flushLocked applies the handle's buffered state to the store. h.mu held.
+func (h *Local) flushLocked() int {
+	n := h.n
+	if n == 0 {
+		return 0
+	}
+	if h.batch != nil {
+		h.batch.Flush()
+	} else {
+		h.mergeAccs()
+	}
+	h.n = 0
+	h.f.dirty.Add(-1)
+	h.f.flushes.Add(1)
+	h.f.flushedObs.Add(uint64(n))
+	return n
+}
+
+// mergeAccs merges the exact-merge accumulators into the striped store,
+// bucketing keys per stripe so each stripe lock is taken exactly once per
+// flush. Every touched entry is stamped with a fresh mutation version and
+// stripe counts absorb the accumulated observation counts, exactly as a
+// direct write would. h.mu held.
+func (h *Local) mergeAccs() {
+	s := h.f.store
+	// Bucket keys per stripe (reusing Batch's bucketing shape but carrying
+	// accumulators, not observations).
+	type keyed struct {
+		key string
+		acc *localAcc
+	}
+	buckets := make(map[uint64][]keyed, 8)
+	for k, acc := range h.accs {
+		i := fnv64a(k) & s.mask
+		buckets[i] = append(buckets[i], keyed{k, acc})
+	}
+	for i, ks := range buckets {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, ka := range ks {
+			e := s.entryLocked(st, ka.key)
+			if err := e.all.Merge(ka.acc.all); err != nil {
+				// Same-backend merges cannot mismatch; a failure here is a
+				// programming error, not a data condition.
+				st.mu.Unlock()
+				panic(fmt.Sprintf("shard: buffered flush merge: %v", err))
+			}
+			if e.ring != nil {
+				for p, pa := range ka.acc.panes {
+					e.ring.observeSummary(p, pa)
+				}
+			}
+			st.count += ka.acc.all.Count()
+			e.version = st.version.Add(1)
+		}
+		st.mu.Unlock()
+	}
+	// Reset accumulators for reuse; drop the map wholesale past the
+	// retention cap so a cardinality burst cannot pin memory forever.
+	if len(h.accs) > maxRetainedAccs {
+		h.accs = nil
+		h.freePanes = nil
+		return
+	}
+	for _, acc := range h.accs {
+		acc.all.Reset()
+		for p, pa := range acc.panes {
+			pa.Reset()
+			h.freePanes = append(h.freePanes, pa)
+			delete(acc.panes, p)
+		}
+	}
+}
+
+// Discard drops the handle's buffered observations without applying them —
+// the error path for a request that fails validation after buffering.
+func (h *Local) Discard() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return
+	}
+	if h.batch != nil {
+		h.batch.Discard()
+	} else {
+		for _, acc := range h.accs {
+			acc.all.Reset()
+			for p, pa := range acc.panes {
+				pa.Reset()
+				h.freePanes = append(h.freePanes, pa)
+				delete(acc.panes, p)
+			}
+		}
+	}
+	h.n = 0
+	h.f.dirty.Add(-1)
+}
+
+// Close flushes the handle and unregisters it from its Flusher.
+func (h *Local) Close() {
+	h.Flush()
+	h.f.mu.Lock()
+	delete(h.f.handles, h)
+	h.f.mu.Unlock()
+}

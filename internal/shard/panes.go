@@ -142,6 +142,31 @@ func (r *paneRing) observe(p int64, x float64) {
 	r.retained.Add(x)
 }
 
+// observeSummary merges a buffered local accumulator into pane p, advancing
+// the ring first — the batched analogue of observe for buffered ingest.
+// Callers must clamp p to the clock's current pane, exactly as for observe.
+// Panes older than the retained range are skipped (their observations are
+// already in the all-time summary), matching the per-observation path. The
+// final ring state is independent of the order accumulators for different
+// panes are applied in: advance is monotonic, and a pane either lands in a
+// live slot or is dropped based only on the maximum pane index seen.
+func (r *paneRing) observeSummary(p int64, sum sketch.Serving) {
+	if p < 0 || sum.IsEmpty() {
+		return
+	}
+	r.advance(p)
+	if p <= r.cur-int64(len(r.slots)) {
+		return // too old: outside the retained range
+	}
+	s := &r.slots[p%int64(len(r.slots))]
+	if s.sk == nil {
+		s.sk = r.newFn()
+	}
+	s.idx = p
+	_ = s.sk.Merge(sum)
+	_ = r.retained.Merge(sum)
+}
+
 // restorePane installs a decoded pane summary during Restore. The ring must
 // have been advanced to the restore-time pane first so stale snapshot panes
 // are dropped rather than resurrected.
@@ -333,6 +358,7 @@ func (s *Store) Panes(key string) (*PaneSeries, error) {
 // clipped to the retained ring — a trailing-window read of n panes clones
 // and merges O(n) sketches instead of O(retention).
 func (s *Store) PanesRange(key string, start, end int64) (*PaneSeries, error) {
+	s.readBarrier()
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -378,6 +404,7 @@ func (s *Store) PanesPrefix(ctx context.Context, prefix string) (*PaneSeries, er
 // PanesRangePrefix is PanesPrefix restricted to the absolute pane range
 // [start, end), clipped to the retained ring.
 func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end int64) (*PaneSeries, error) {
+	s.readBarrier()
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -433,6 +460,7 @@ func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end 
 // returning; backends without Sub keep it exact by re-merging live panes at
 // expiry.
 func (s *Store) Retained(key string) (sketch.Serving, error) {
+	s.readBarrier()
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -453,6 +481,7 @@ func (s *Store) Retained(key string) (sketch.Serving, error) {
 // one merge per matched key rather than one per (key × pane). It returns
 // the merged summary and the number of keys merged.
 func (s *Store) RetainedPrefix(ctx context.Context, prefix string) (sketch.Serving, int, error) {
+	s.readBarrier()
 	if s.paneWidth <= 0 {
 		return nil, 0, ErrNoWindow
 	}

@@ -81,6 +81,12 @@ type Store struct {
 	paneWidth int64 // pane width in nanoseconds; 0 = no time panes
 	retention int   // live panes per key when paneWidth > 0
 	now       func() time.Time
+
+	// flusher is the attached buffered-ingest coordinator, nil when the
+	// store has none (see NewFlusher). Read paths drain it through
+	// readBarrier so queries observe every buffered observation, unless the
+	// flusher was configured for bounded-staleness reads.
+	flusher atomic.Pointer[Flusher]
 }
 
 // Option configures a Store at construction.
@@ -200,6 +206,30 @@ func (s *Store) Backend() sketch.Backend { return s.backend }
 
 // NumShards returns the number of lock stripes.
 func (s *Store) NumShards() int { return len(s.stripes) }
+
+// readBarrier drains any buffered ingest attached to the store so the
+// caller reads a state that includes every observation flushed — the
+// read-your-writes seam between Flusher handles and query paths. It is a
+// single atomic load (plus one more inside the flusher) when no flusher is
+// attached or nothing is pending; flushers configured Stale skip the drain
+// for bounded-staleness reads. Mutating entry points (Delete, Reset,
+// Restore) call it too, so buffered observations are ordered before the
+// mutation rather than resurrecting state after it.
+func (s *Store) readBarrier() {
+	if f := s.flusher.Load(); f != nil {
+		f.drainBarrier(false)
+	}
+}
+
+// snapshotBarrier is readBarrier for the snapshot path: it drains even
+// under bounded-staleness reads, because a snapshot that silently dropped
+// buffered observations would turn a staleness bound into data loss across
+// a restore cycle.
+func (s *Store) snapshotBarrier() {
+	if f := s.flusher.Load(); f != nil {
+		f.drainBarrier(true)
+	}
+}
 
 // fnv64a hashes a key without allocating (FNV-1a).
 func fnv64a(key string) uint64 {
@@ -354,6 +384,7 @@ func (b *Batch) Discard() {
 
 // Summary returns an independent clone of the all-time summary for key.
 func (s *Store) Summary(key string) (sketch.Serving, bool) {
+	s.readBarrier()
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	e, ok := st.entries[key]
@@ -380,6 +411,7 @@ func (s *Store) Sketch(key string) (*core.Sketch, bool) {
 // Count returns the number of observations recorded under key (0 if the key
 // is absent).
 func (s *Store) Count(key string) float64 {
+	s.readBarrier()
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -391,6 +423,7 @@ func (s *Store) Count(key string) float64 {
 
 // Len returns the number of distinct keys.
 func (s *Store) Len() int {
+	s.readBarrier()
 	n := 0
 	for i := range s.stripes {
 		st := &s.stripes[i]
@@ -403,6 +436,7 @@ func (s *Store) Len() int {
 
 // TotalCount returns the total number of observations ingested.
 func (s *Store) TotalCount() float64 {
+	s.readBarrier()
 	total := 0.0
 	for i := range s.stripes {
 		st := &s.stripes[i]
@@ -416,6 +450,7 @@ func (s *Store) TotalCount() float64 {
 // Keys returns every key with the given prefix, sorted. An empty prefix
 // matches all keys.
 func (s *Store) Keys(prefix string) []string {
+	s.readBarrier()
 	var keys []string
 	for i := range s.stripes {
 		st := &s.stripes[i]
@@ -448,6 +483,7 @@ func (s *Store) Match(prefix string) []Keyed {
 // stripes and returns ctx.Err() when the deadline passes or the caller
 // gives up, so a query over a huge store cannot outlive its request.
 func (s *Store) MatchContext(ctx context.Context, prefix string) ([]Keyed, error) {
+	s.readBarrier()
 	var out []Keyed
 	for i := range s.stripes {
 		if err := ctx.Err(); err != nil {
@@ -484,6 +520,7 @@ func (s *Store) MergePrefix(prefix string) (sketch.Serving, int, error) {
 // order. Query layers rely on this to return bit-identical answers for
 // repeated queries.
 func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (sketch.Serving, int, error) {
+	s.readBarrier()
 	out := s.backend.New()
 	merges := 0
 	var keys []string
@@ -568,6 +605,7 @@ func QuantileOf(sk *core.Sketch, phi float64, opts maxent.Options) (float64, err
 
 // Delete removes a key, reporting whether it was present.
 func (s *Store) Delete(key string) bool {
+	s.readBarrier()
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -582,6 +620,7 @@ func (s *Store) Delete(key string) bool {
 
 // Reset removes every key.
 func (s *Store) Reset() {
+	s.readBarrier()
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()
@@ -598,6 +637,7 @@ func (s *Store) Reset() {
 // any Add, Delete, Reset or Restore anywhere strictly increases the sum.
 // Query-layer caches stamp prefix-rollup results with it.
 func (s *Store) Version() uint64 {
+	s.readBarrier()
 	var sum uint64
 	for i := range s.stripes {
 		sum += s.stripes[i].version.Load()
@@ -611,6 +651,7 @@ func (s *Store) Version() uint64 {
 // guarantees the key's sketch — and its time panes — are unchanged; a
 // deleted and re-created key always reports a strictly newer version.
 func (s *Store) KeyVersion(key string) (uint64, bool) {
+	s.readBarrier()
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -672,6 +713,7 @@ const MaxKeyLen = 1 << 20
 // internally consistent; keys ingested during the snapshot may or may not
 // appear.
 func (s *Store) Snapshot(w io.Writer) error {
+	s.snapshotBarrier()
 	if !s.backend.Caps.Snapshot {
 		return fmt.Errorf("shard: backend %s does not support snapshots", s.backend.Fingerprint())
 	}
@@ -790,6 +832,7 @@ func (s *Store) Snapshot(w io.Writer) error {
 // and validated into a staging area first, so a bad or cut-short snapshot
 // leaves the store untouched.
 func (s *Store) Restore(r io.Reader) error {
+	s.snapshotBarrier()
 	br := bufio.NewReader(r)
 	head := make([]byte, len(snapMagic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {

@@ -24,11 +24,20 @@ import (
 //     window's θ. Meaningless without Cascade.
 //   - Snapshot: the backend has a binary codec, so stores built on it can
 //     write and restore snapshots.
+//   - ExactMerge: merging summaries built from partitions of a stream yields
+//     the same state as accumulating the stream directly (up to floating-
+//     point rounding, and exactly when the arithmetic is exact). The moments
+//     sketch has it — a merge is an O(k) vector add — so buffered ingest can
+//     accumulate into thread-local summaries and merge them in later.
+//     Backends whose merge is lossy relative to item-wise adds (compaction
+//     buffers, centroid merges, reservoir subsampling) do not; buffered
+//     ingest falls back to batched striped writes for them.
 type Caps struct {
-	Sub       bool `json:"sub"`
-	Cascade   bool `json:"cascade"`
-	WarmStart bool `json:"warm_start"`
-	Snapshot  bool `json:"snapshot"`
+	Sub        bool `json:"sub"`
+	Cascade    bool `json:"cascade"`
+	WarmStart  bool `json:"warm_start"`
+	Snapshot   bool `json:"snapshot"`
+	ExactMerge bool `json:"exact_merge"`
 }
 
 // Serving extends Summary with the lifecycle operations the live serving
@@ -138,7 +147,7 @@ func MomentsBackend(k int) Backend {
 	return Backend{
 		Name:  "moments",
 		Param: fmt.Sprintf("k=%d", k),
-		Caps:  Caps{Sub: true, Cascade: true, WarmStart: true, Snapshot: true},
+		Caps:  Caps{Sub: true, Cascade: true, WarmStart: true, Snapshot: true, ExactMerge: true},
 		New:   func() Serving { return NewMSketch(k) },
 		param: k,
 		tag:   tagMoments,
