@@ -144,14 +144,18 @@ func (f *Flusher) run() {
 // goroutine its own (or pool them per request). Handles stay registered for
 // background and barrier flushes until Close; an abandoned unclosed handle
 // is still drained by triggers but leaks its registration.
+//
+// On a closed Flusher the handle comes back unregistered: it still buffers
+// and flushes into the store, but no trigger drains it — only its own Flush
+// or Close does. This keeps a shutdown race (a request grabbing a handle
+// while Close runs) a graceful degradation instead of a panic; callers that
+// obtain handles after Close must flush them explicitly.
 func (f *Flusher) Handle() *Local {
 	h := &Local{f: f}
 	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		panic("shard: Handle on a closed Flusher")
+	if !f.closed {
+		f.handles[h] = struct{}{}
 	}
-	f.handles[h] = struct{}{}
 	f.mu.Unlock()
 	return h
 }
@@ -218,7 +222,8 @@ func (f *Flusher) Stats() FlusherStats {
 }
 
 // Close stops the time trigger, drains every handle, and detaches the
-// flusher from its store. Handles must not be used after Close.
+// flusher from its store. Handles used after Close keep working but are no
+// longer drained by any trigger — flush them explicitly (see Handle).
 func (f *Flusher) Close() error {
 	f.mu.Lock()
 	if f.closed {
@@ -283,6 +288,12 @@ func (h *Local) AddAt(key string, x float64, at time.Time) {
 	if !s.backend.Caps.ExactMerge {
 		if h.batch == nil {
 			h.batch = s.NewBatch()
+		}
+		// Batch.AddAt stamps zero timestamps at flush; resolve "now" here
+		// instead so a long-buffered observation keeps its true arrival
+		// pane, as documented above for the exact-merge path.
+		if at.IsZero() {
+			at = s.now()
 		}
 		h.batch.AddAt(key, x, at)
 	} else {
@@ -403,6 +414,12 @@ func (h *Local) flushLocked() int {
 // flush. Every touched entry is stamped with a fresh mutation version and
 // stripe counts absorb the accumulated observation counts, exactly as a
 // direct write would. h.mu held.
+//
+// Accumulators retained (reset to empty) from a prior flush are skipped:
+// merging them would re-create store entries for keys with zero new
+// observations — resurrecting keys Delete()d since the last flush as
+// phantom empty entries — and would re-version untouched keys, spuriously
+// invalidating solve-cache entries keyed on their versions.
 func (h *Local) mergeAccs() {
 	s := h.f.store
 	// Bucket keys per stripe (reusing Batch's bucketing shape but carrying
@@ -413,6 +430,9 @@ func (h *Local) mergeAccs() {
 	}
 	buckets := make(map[uint64][]keyed, 8)
 	for k, acc := range h.accs {
+		if acc.all.IsEmpty() {
+			continue
+		}
 		i := fnv64a(k) & s.mask
 		buckets[i] = append(buckets[i], keyed{k, acc})
 	}

@@ -507,6 +507,134 @@ func TestAbsorbBatch(t *testing.T) {
 	}
 }
 
+// TestFlushDoesNotResurrectDeletedKeys is the regression pin for phantom
+// key resurrection: a handle retains reset-to-empty accumulators across
+// flushes for reuse, and a later flush must skip them — otherwise a flush
+// touching only other keys re-creates entries for keys Delete()d since the
+// last flush, as empty phantoms visible to Summary/Len/Keys.
+func TestFlushDoesNotResurrectDeletedKeys(t *testing.T) {
+	s := New(WithShards(2))
+	f, err := NewFlusher(s, FlusherConfig{FlushSize: 1 << 20, Stale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := f.Handle()
+	defer h.Close()
+
+	h.Add("res.k", 1)
+	h.Add("res.other", 1)
+	h.Flush()
+	if !s.Delete("res.k") {
+		t.Fatal("Delete did not find the flushed key")
+	}
+
+	h.Add("res.other", 2)
+	h.Flush()
+	if _, ok := s.Summary("res.k"); ok {
+		t.Fatal("deleted key resurrected by a flush with no new observations for it")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+// TestFlushOnlyReversionsTouchedKeys: a flush must re-version exactly the
+// keys that received new observations since the last flush. Re-stamping
+// every retained key would spuriously invalidate solve-cache entries keyed
+// on untouched keys' versions.
+func TestFlushOnlyReversionsTouchedKeys(t *testing.T) {
+	s := New(WithShards(2))
+	f, err := NewFlusher(s, FlusherConfig{FlushSize: 1 << 20, Stale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := f.Handle()
+	defer h.Close()
+
+	h.Add("ver.a", 1)
+	h.Add("ver.b", 1)
+	h.Flush()
+	va0, ok := s.KeyVersion("ver.a")
+	if !ok {
+		t.Fatal("ver.a missing after flush")
+	}
+	vb0, ok := s.KeyVersion("ver.b")
+	if !ok {
+		t.Fatal("ver.b missing after flush")
+	}
+
+	h.Add("ver.a", 2)
+	h.Flush()
+	if va1, _ := s.KeyVersion("ver.a"); va1 <= va0 {
+		t.Errorf("KeyVersion(ver.a) %d -> %d: touched key not re-versioned", va0, va1)
+	}
+	if vb1, _ := s.KeyVersion("ver.b"); vb1 != vb0 {
+		t.Errorf("KeyVersion(ver.b) %d -> %d: untouched key re-versioned by flush", vb0, vb1)
+	}
+}
+
+// TestFallbackBufferedStampsAtAdd: on backends without ExactMerge the
+// buffered path falls back to a Batch, which stamps zero timestamps at
+// flush — the Local must resolve "now" at Add instead, so a long-buffered
+// observation keeps its true arrival pane (the documented contract shared
+// with the exact-merge path).
+func TestFallbackBufferedStampsAtAdd(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	now := t0
+	s := New(WithShards(2), WithBackend(sketch.Merge12Backend(64)),
+		WithWindow(time.Second, 16), WithClock(func() time.Time { return now }))
+	f, err := NewFlusher(s, FlusherConfig{FlushSize: 1 << 20, Stale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := f.Handle()
+	defer h.Close()
+
+	h.Add("fb.k", 1) // zero timestamp: must stamp at the Add instant, t0
+	now = t0.Add(5 * time.Second)
+	h.Flush()
+
+	ps, err := s.Panes("fb.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	landed := int64(-1)
+	for i, p := range ps.Panes {
+		if p.Count() > 0 {
+			landed = ps.Start + int64(i)
+		}
+	}
+	if want := t0.Unix(); landed != want {
+		t.Fatalf("observation landed in pane %d, want %d (stamped at flush, not Add)", landed, want)
+	}
+}
+
+// TestHandleAfterClose: a request racing the Flusher's Close may still ask
+// for a handle; it must get a working, unregistered one — no panic — and
+// the handle's own Close must still flush its observations into the store.
+func TestHandleAfterClose(t *testing.T) {
+	s := New(WithShards(2))
+	f, err := NewFlusher(s, FlusherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handle()
+	h.Add("late.k", 1)
+	h.Close()
+	if got := s.Count("late.k"); got != 1 {
+		t.Fatalf("Count = %v, want 1 (post-Close handle lost its observation)", got)
+	}
+	if got := f.Stats().Handles; got != 0 {
+		t.Fatalf("Stats().Handles = %d, want 0 (post-Close handle leaked a registration)", got)
+	}
+}
+
 // BenchmarkBackendIngestParallel measures multi-goroutine ingest throughput
 // on the moments backend: the direct striped path (per-observation work
 // under stripe locks) against the thread-local buffered path (local O(k)
