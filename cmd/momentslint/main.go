@@ -1,0 +1,76 @@
+// Command momentslint runs the repository's invariant analyzers (package
+// internal/analyzers) in two modes:
+//
+//	momentslint [packages]
+//
+// loads and checks the given package patterns (default ./...) in-process,
+// printing file:line:col diagnostics and exiting 1 when any survive their
+// //lint:allow directives.
+//
+//	go vet -vettool=$(which momentslint) ./...
+//
+// speaks the go vet unit-checker protocol: the go command supplies
+// per-package .cfg files with export data and fact-file plumbing, and
+// caches clean results keyed on the binary's build ID.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/framework"
+)
+
+func main() {
+	suite := analyzers.All()
+
+	for _, a := range os.Args[1:] {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			framework.Main(suite...) // never returns
+		}
+	}
+
+	patterns := os.Args[1:]
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "momentslint: unknown flag %s\nusage: momentslint [packages]\n", p)
+			os.Exit(2)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momentslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := framework.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momentslint:", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		for _, e := range p.Errors {
+			fmt.Fprintf(os.Stderr, "momentslint: %s: %v\n", p.PkgPath, e)
+		}
+	}
+	diags, err := framework.RunPackages(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momentslint:", err)
+		os.Exit(2)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	os.Exit(1)
+}

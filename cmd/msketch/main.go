@@ -98,6 +98,12 @@ func cmdBuild(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("build: -o is required")
 	}
+	if *k < 1 || *k > moments.MaxK {
+		return fmt.Errorf("build: -k %d outside [1,%d]", *k, moments.MaxK)
+	}
+	if *bits < 0 || *bits > 52 {
+		return fmt.Errorf("build: -bits %d outside [0,52]", *bits)
+	}
 	s := moments.New(moments.WithK(*k))
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -110,7 +116,7 @@ func cmdBuild(args []string) error {
 		}
 		v, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return fmt.Errorf("build: line %d: %v", line, err)
+			return fmt.Errorf("build: line %d: %w", line, err)
 		}
 		s.Add(v)
 	}
@@ -141,7 +147,7 @@ func load(path string) (*moments.Sketch, error) {
 	}
 	var s moments.Sketch
 	if err := s.UnmarshalBinary(data); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &s, nil
 }
@@ -164,7 +170,7 @@ func cmdMerge(args []string) error {
 			return err
 		}
 		if err := root.Merge(s); err != nil {
-			return fmt.Errorf("merging %s: %v", f, err)
+			return fmt.Errorf("merging %s: %w", f, err)
 		}
 	}
 	data, err := root.MarshalBinary()
@@ -213,7 +219,7 @@ func cmdQuery(args []string) error {
 	for _, phi := range phis {
 		q, err := s.Quantile(phi)
 		if err != nil {
-			return fmt.Errorf("estimating p%g: %v", phi*100, err)
+			return fmt.Errorf("estimating p%g: %w", phi*100, err)
 		}
 		lo, hi := s.RankBounds(q)
 		fmt.Printf("p%-6g %-14g (rank bounds [%.4f, %.4f])\n", phi*100, q, lo, hi)
@@ -241,7 +247,7 @@ func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, 
 	if batch {
 		body, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			return fmt.Errorf("query: reading stdin: %v", err)
+			return fmt.Errorf("query: reading stdin: %w", err)
 		}
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -316,7 +322,7 @@ func serverQuery(fs *flag.FlagSet, server, qs, key, prefix string, groupby int, 
 		}
 		var out query.Response
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			return nil, fmt.Errorf("query: decoding response: %v", err)
+			return nil, fmt.Errorf("query: decoding response: %w", err)
 		}
 		if len(out.Results) == 0 {
 			return nil, fmt.Errorf("query: server returned no results — is %s a momentsd /v1/query endpoint?", url)
@@ -457,7 +463,7 @@ func cmdWindows(args []string) error {
 		} `json:"cascade"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return fmt.Errorf("windows: decoding response: %v", err)
+		return fmt.Errorf("windows: decoding response: %w", err)
 	}
 	fmt.Printf("scanned %d windows of %d×%s panes over %d keys (merge %s, estimate %s)\n",
 		out.Windows, *width, time.Duration(out.PaneWidthSeconds*float64(time.Second)), out.Keys,

@@ -1,0 +1,482 @@
+// Package capsgate defines an analyzer guarding capability-gated backend
+// interfaces: a single-result type assertion to a capability interface must
+// be dominated by a check of the matching Caps flag.
+//
+// A capability interface declares its flag in a doc directive:
+//
+//	//lint:capability Sub
+//	type Subber interface{ ... }
+//
+// The defining package exports the interface→flag table as a package fact,
+// so assertions in downstream packages are checked against it too. An
+// assertion `x.(Subber)` is accepted when
+//
+//   - it is the comma-ok form (or a type switch), which cannot panic, or
+//   - control flow from the function entry to the assertion passes a
+//     positive test of `<expr>.Caps.Sub`, or of a bool proxy variable/field
+//     assigned from such an expression (e.g. a `sub` field captured at
+//     construction), including the early-return form `if !p.sub { return }`.
+//
+// Everything else is a latent panic on backends without the capability and
+// gets flagged.
+package capsgate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/guards"
+)
+
+// Capabilities is the package fact mapping capability interface names to
+// the Caps flag that gates them.
+type Capabilities struct {
+	Flags map[string]string // interface type name -> Caps flag name
+}
+
+// AFact marks Capabilities as a framework fact.
+func (*Capabilities) AFact() {}
+
+// Analyzer is the capsgate analysis.
+var Analyzer = &framework.Analyzer{
+	Name:      "capsgate",
+	Doc:       "check that assertions to capability interfaces are dominated by matching Caps flag checks",
+	FactTypes: []framework.Fact{new(Capabilities)},
+	Run:       run,
+}
+
+func run(pass *framework.Pass) error {
+	files := pass.NonTestFiles()
+
+	// Local capability interfaces, exported as a fact for dependents.
+	local := make(map[string]string)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.InterfaceType); !ok {
+					continue
+				}
+				if flag := capabilityDirective(ts, gd); flag != "" {
+					local[ts.Name.Name] = flag
+				}
+			}
+		}
+	}
+	if len(local) > 0 {
+		pass.ExportPackageFact(&Capabilities{Flags: local})
+	}
+
+	c := &checker{
+		pass:    pass,
+		local:   local,
+		imports: make(map[string]map[string]string),
+		proxies: collectProxies(pass, files),
+		commaOK: make(map[*ast.TypeAssertExpr]bool),
+	}
+
+	// Comma-ok assertions and type-switch guards are safe by construction.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+					if ta, ok := n.Rhs[0].(*ast.TypeAssertExpr); ok {
+						c.commaOK[ta] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == 2 && len(n.Values) == 1 {
+					if ta, ok := n.Values[0].(*ast.TypeAssertExpr); ok {
+						c.commaOK[ta] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.stmt(fd.Body, make(flagSet))
+			}
+		}
+	}
+	return nil
+}
+
+// capabilityDirective extracts the flag name from a //lint:capability
+// directive on a type declaration.
+func capabilityDirective(ts *ast.TypeSpec, gd *ast.GenDecl) string {
+	for _, doc := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+		if doc == nil {
+			continue
+		}
+		for _, cm := range doc.List {
+			if rest, ok := cutPrefix(cm.Text, "//lint:capability"); ok {
+				fields := splitFields(rest)
+				if len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// collectProxies finds bool variables and fields assigned (anywhere in the
+// package) from a `.Caps.<Flag>` expression; testing them counts as
+// testing the flag.
+func collectProxies(pass *framework.Pass, files []*ast.File) map[types.Object]string {
+	proxies := make(map[types.Object]string)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		flag := capsFlagIn(rhs, pass.TypesInfo, nil)
+		if flag == "" {
+			return
+		}
+		var obj types.Object
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.ObjectOf(lhs)
+		case *ast.SelectorExpr:
+			if fld := guards.FieldOf(lhs, pass.TypesInfo); fld != nil {
+				obj = fld
+			}
+		}
+		if obj == nil {
+			return
+		}
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+			proxies[obj] = flag
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						record(kv.Key, kv.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return proxies
+}
+
+// capsFlagIn returns the flag name when e is (or directly contains) a
+// selector of the shape `<expr>.Caps.<Flag>` with a bool result, or a
+// reference to a known proxy. proxies may be nil.
+func capsFlagIn(e ast.Expr, info *types.Info, proxies map[types.Object]string) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return capsFlagIn(e.X, info, proxies)
+	case *ast.Ident:
+		if proxies != nil {
+			return proxies[info.ObjectOf(e)]
+		}
+		return ""
+	case *ast.SelectorExpr:
+		inner, ok := e.X.(*ast.SelectorExpr)
+		if ok && inner.Sel.Name == "Caps" {
+			if t, ok := info.TypeOf(e).Underlying().(*types.Basic); ok && t.Kind() == types.Bool {
+				return e.Sel.Name
+			}
+		}
+		if proxies != nil {
+			if fld := guards.FieldOf(e, info); fld != nil {
+				return proxies[fld]
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// flagSet is the set of capability flags proven true on the current path.
+type flagSet map[string]bool
+
+func (s flagSet) clone() flagSet {
+	out := make(flagSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+type checker struct {
+	pass    *framework.Pass
+	local   map[string]string
+	imports map[string]map[string]string // pkg path -> interface -> flag
+	proxies map[types.Object]string
+	commaOK map[*ast.TypeAssertExpr]bool
+}
+
+// flagFor resolves a capability interface type to its flag name ("" when
+// the type is not a capability interface).
+func (c *checker) flagFor(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, ok := n.Underlying().(*types.Interface); !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if obj.Pkg() == c.pass.Pkg {
+		return c.local[obj.Name()]
+	}
+	path := obj.Pkg().Path()
+	flags, ok := c.imports[path]
+	if !ok {
+		var fact Capabilities
+		if c.pass.ImportPackageFact(obj.Pkg(), &fact) {
+			flags = fact.Flags
+		}
+		c.imports[path] = flags
+	}
+	return flags[obj.Name()]
+}
+
+// condFlags splits a condition into the flags proven true when it holds
+// (pos) and the flags proven true when it fails (neg).
+func (c *checker) condFlags(e ast.Expr) (pos, neg flagSet) {
+	pos, neg = make(flagSet), make(flagSet)
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.condFlags(e.X)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "!" {
+			p, n := c.condFlags(e.X)
+			return n, p
+		}
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			lp, _ := c.condFlags(e.X)
+			rp, _ := c.condFlags(e.Y)
+			for f := range lp {
+				pos[f] = true
+			}
+			for f := range rp {
+				pos[f] = true
+			}
+			return pos, neg
+		case "||":
+			_, ln := c.condFlags(e.X)
+			_, rn := c.condFlags(e.Y)
+			for f := range ln {
+				neg[f] = true
+			}
+			for f := range rn {
+				neg[f] = true
+			}
+			return pos, neg
+		}
+	}
+	if f := capsFlagIn(e, c.pass.TypesInfo, c.proxies); f != "" {
+		pos[f] = true
+	}
+	return pos, neg
+}
+
+// stmt walks one statement with the set of proven flags, returning the
+// fall-through set.
+func (c *checker) stmt(s ast.Stmt, st flagSet) flagSet {
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			st = c.stmt(sub, st)
+		}
+		return st
+	case *ast.IfStmt:
+		st = c.stmt(s.Init, st)
+		c.expr(s.Cond, st)
+		pos, neg := c.condFlags(s.Cond)
+		bodySt := st.clone()
+		for f := range pos {
+			bodySt[f] = true
+		}
+		c.stmt(s.Body, bodySt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			for f := range neg {
+				elseSt[f] = true
+			}
+			c.stmt(s.Else, elseSt)
+		}
+		// Early-return guard: if the positive branch terminates, the
+		// negated-condition flags hold on fall-through (if !ok { return }).
+		if guards.Terminates(s.Body) {
+			out := st.clone()
+			for f := range neg {
+				out[f] = true
+			}
+			return out
+		}
+		return st
+	case *ast.ForStmt:
+		st = c.stmt(s.Init, st)
+		c.expr(s.Cond, st)
+		pos, _ := c.condFlags(s.Cond)
+		bodySt := st.clone()
+		for f := range pos {
+			bodySt[f] = true
+		}
+		c.stmt(s.Body, bodySt)
+		c.stmt(s.Post, bodySt)
+		return st
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		c.stmt(s.Body, st.clone())
+		return st
+	case *ast.SwitchStmt:
+		st = c.stmt(s.Init, st)
+		c.expr(s.Tag, st)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sub := st.clone()
+				for _, e := range cc.List {
+					c.expr(e, sub)
+				}
+				for _, bs := range cc.Body {
+					sub = c.stmt(bs, sub)
+				}
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		st = c.stmt(s.Init, st)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				sub := st.clone()
+				for _, bs := range cc.Body {
+					sub = c.stmt(bs, sub)
+				}
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				sub := st.clone()
+				sub = c.stmt(cc.Comm, sub)
+				for _, bs := range cc.Body {
+					sub = c.stmt(bs, sub)
+				}
+			}
+		}
+		return st
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			c.stmt(lit.Body, st.clone())
+		} else {
+			c.expr(call.Fun, st)
+		}
+		for _, a := range call.Args {
+			c.expr(a, st)
+		}
+		return st
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case ast.Stmt:
+				if n == s {
+					return true
+				}
+				c.stmt(n, st)
+				return false
+			case ast.Expr:
+				c.expr(n, st)
+				return false
+			}
+			return true
+		})
+		return st
+	}
+}
+
+// expr checks the capability assertions inside an expression against the
+// proven flags.
+func (c *checker) expr(e ast.Expr, st flagSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.stmt(n.Body, st.clone())
+			return false
+		case *ast.TypeAssertExpr:
+			if n.Type == nil || c.commaOK[n] {
+				return true
+			}
+			t := c.pass.TypesInfo.TypeOf(n.Type)
+			if t == nil {
+				return true
+			}
+			flag := c.flagFor(t)
+			if flag == "" || st[flag] {
+				return true
+			}
+			name := t.(*types.Named).Obj().Name()
+			c.pass.Reportf(n.Pos(),
+				"assertion to capability interface %s not guarded by a Caps.%s check (use the comma-ok form or test the flag first)",
+				name, flag)
+		}
+		return true
+	})
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+func splitFields(s string) []string {
+	var out []string
+	field := ""
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' || s[i] == '\t' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(s[i])
+	}
+	return out
+}

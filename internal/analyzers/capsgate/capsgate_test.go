@@ -1,0 +1,12 @@
+package capsgate_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/capsgate"
+)
+
+func TestCapsgate(t *testing.T) {
+	antest.Run(t, antest.TestData(), capsgate.Analyzer, "sk", "a")
+}

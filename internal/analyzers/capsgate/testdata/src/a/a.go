@@ -1,0 +1,115 @@
+// Package a consumes sk's capability interfaces; the interface→flag table
+// arrives as a package fact.
+package a
+
+import "sk"
+
+// ring captures a capability flag at construction; the sub field is a
+// recognized proxy for Caps.Sub.
+type ring struct {
+	sub      bool
+	retained sk.Summary
+}
+
+func newRing(b *sk.Backend, s sk.Summary) *ring {
+	return &ring{sub: b.Caps.Sub, retained: s}
+}
+
+func bad(s sk.Summary) error {
+	return s.(sk.Subber).Sub(s) // want `assertion to capability interface Subber not guarded by a Caps\.Sub check`
+}
+
+func wrongFlag(b *sk.Backend, s sk.Summary) error {
+	if b.Caps.Cascade {
+		return s.(sk.Subber).Sub(s) // want `assertion to capability interface Subber not guarded by a Caps\.Sub check`
+	}
+	return nil
+}
+
+func guarded(b *sk.Backend, s sk.Summary) error {
+	if b.Caps.Sub {
+		return s.(sk.Subber).Sub(s)
+	}
+	return nil
+}
+
+func guardedBoth(b *sk.Backend, s sk.Summary) []float64 {
+	if b.Caps.Sub && b.Caps.Cascade {
+		_ = s.(sk.Subber)
+		return s.(sk.Carrier).Moments()
+	}
+	return nil
+}
+
+// earlyReturn uses the repo's usual `if !caps { bail }` shape.
+func earlyReturn(b *sk.Backend, s sk.Summary) error {
+	if !b.Caps.Sub {
+		return nil
+	}
+	return s.(sk.Subber).Sub(s)
+}
+
+// earlyReturnEither: failing either flag bails, so both are proven below.
+func earlyReturnEither(b *sk.Backend, s sk.Summary) error {
+	if !b.Caps.Sub || !b.Caps.Cascade {
+		return nil
+	}
+	_ = s.(sk.Carrier)
+	return s.(sk.Subber).Sub(s)
+}
+
+// proxyGuard tests the flag through the field captured in newRing.
+func (r *ring) proxyGuard() error {
+	if r.sub {
+		return r.retained.(sk.Subber).Sub(r.retained)
+	}
+	return nil
+}
+
+// proxyMiss has no guard at all, proxy or otherwise.
+func (r *ring) proxyMiss() error {
+	return r.retained.(sk.Subber).Sub(r.retained) // want `assertion to capability interface Subber not guarded by a Caps\.Sub check`
+}
+
+// commaOK cannot panic and is always fine.
+func commaOK(s sk.Summary) error {
+	if sub, ok := s.(sk.Subber); ok {
+		return sub.Sub(s)
+	}
+	return nil
+}
+
+// typeSwitch is likewise safe by construction.
+func typeSwitch(s sk.Summary) []float64 {
+	switch v := s.(type) {
+	case sk.Carrier:
+		return v.Moments()
+	default:
+		return nil
+	}
+}
+
+// plainAssert is not a capability interface; out of scope.
+func plainAssert(s any) sk.Summary {
+	return s.(sk.Summary)
+}
+
+// allowed documents a deliberate exception.
+func allowed(s sk.Summary) error {
+	//lint:allow capsgate caller validated capabilities at config load
+	return s.(sk.Subber).Sub(s)
+}
+
+var _ = newRing
+var _ = bad
+var _ = wrongFlag
+var _ = guarded
+var _ = guardedBoth
+var _ = earlyReturn
+var _ = earlyReturnEither
+var _ = (*ring).proxyGuard
+var _ = (*ring).proxyMiss
+var _ = commaOK
+var _ = typeSwitch
+var _ = plainAssert
+var _ = allowed

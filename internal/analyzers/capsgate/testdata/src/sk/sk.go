@@ -1,0 +1,51 @@
+// Package sk is the capability-definition fixture: a miniature of
+// internal/sketch's capability-gated backend interfaces.
+package sk
+
+// Caps advertises which optional operations a backend supports.
+type Caps struct {
+	Sub     bool
+	Cascade bool
+}
+
+// Summary is the always-supported base interface.
+type Summary interface {
+	Count() float64
+}
+
+// Subber is implemented only by backends with Caps.Sub.
+//
+//lint:capability Sub
+type Subber interface {
+	Summary
+	Sub(Summary) error
+}
+
+// Carrier is implemented only by backends with Caps.Cascade.
+//
+//lint:capability Cascade
+type Carrier interface {
+	Summary
+	Moments() []float64
+}
+
+// Backend couples a summary with its capability flags.
+type Backend struct {
+	Caps Caps
+}
+
+// localUnguarded shows the check applies in the defining package itself.
+func localUnguarded(s Summary) error {
+	return s.(Subber).Sub(s) // want `assertion to capability interface Subber not guarded by a Caps\.Sub check`
+}
+
+// localGuarded is the corrected shape.
+func localGuarded(b *Backend, s Summary) error {
+	if b.Caps.Sub {
+		return s.(Subber).Sub(s)
+	}
+	return nil
+}
+
+var _ = localUnguarded
+var _ = localGuarded

@@ -1,0 +1,257 @@
+// Package errenvelope defines an analyzer enforcing the typed error
+// envelope on query and server paths, plus hygiene on error-bearing calls:
+//
+//  1. Calls to an envelope package's Errorf must pass a named Code*
+//     constant, not a raw string literal — the {code,message} envelope is
+//     what clients switch on, and ad-hoc strings silently downgrade to
+//     CodeInternal semantics. An "envelope package" declares a struct type
+//     Error with Code and Message string fields, a function Errorf, and
+//     exported Code* string constants; its code set travels to dependent
+//     packages as a package fact.
+//  2. In a package that defines a writeError-style helper, calling
+//     net/http.Error directly bypasses the envelope encoding.
+//  3. On codec and snapshot paths (Marshal/Unmarshal/Encode/Decode/
+//     Snapshot/Restore/Flush/WriteTo/ReadFrom), an error result dropped on
+//     the floor as a bare expression statement is flagged; write `_ = ...`
+//     to discard deliberately.
+//  4. In package main, fmt.Errorf with an error-typed argument but no %w
+//     verb breaks errors.Is/As unwrapping for the flag-validation paths the
+//     cmd binaries rely on.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analyzers/framework"
+)
+
+// ErrorCodes is the package fact an envelope-defining package exports: the
+// names of its Code* constants.
+type ErrorCodes struct {
+	Codes []string
+}
+
+// AFact marks ErrorCodes as a framework fact.
+func (*ErrorCodes) AFact() {}
+
+// Analyzer is the errenvelope analysis.
+var Analyzer = &framework.Analyzer{
+	Name:      "errenvelope",
+	Doc:       "check typed {code,message} error-envelope discipline and dropped errors on codec/snapshot paths",
+	FactTypes: []framework.Fact{new(ErrorCodes)},
+	Run:       run,
+}
+
+// droppedCallees are the method names whose error results must never be
+// silently discarded.
+var droppedCallees = map[string]bool{
+	"Marshal": true, "MarshalBinary": true, "Unmarshal": true, "UnmarshalBinary": true,
+	"Encode": true, "Decode": true, "Snapshot": true, "Restore": true,
+	"Flush": true, "WriteTo": true, "ReadFrom": true,
+}
+
+func run(pass *framework.Pass) error {
+	files := pass.NonTestFiles()
+
+	// Detect and export the local envelope, if this package defines one.
+	localCodes := envelopeCodes(pass, files)
+	if localCodes != nil {
+		pass.ExportPackageFact(&ErrorCodes{Codes: localCodes})
+	}
+	codeSets := map[*types.Package][]string{pass.Pkg: localCodes}
+
+	// Does this package define an envelope-writing HTTP helper?
+	hasWriteHelper := false
+	helperName := ""
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if name := fd.Name.Name; strings.HasPrefix(name, "write") && strings.Contains(name, "Error") {
+					hasWriteHelper = true
+					helperName = name
+				}
+			}
+		}
+	}
+
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	errType := types.Universe.Lookup("error").Type()
+	isMain := pass.Pkg.Name() == "main"
+
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDropped(pass, n, errType)
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				var calleeObj types.Object
+				if ok {
+					calleeObj = pass.TypesInfo.ObjectOf(sel.Sel)
+				} else if id, ok := n.Fun.(*ast.Ident); ok {
+					calleeObj = pass.TypesInfo.ObjectOf(id)
+				}
+				fn, _ := calleeObj.(*types.Func)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Name() == "Errorf" && fn.Pkg().Path() == "fmt":
+					if isMain {
+						checkWrap(pass, n, errIface)
+					}
+				case fn.Name() == "Errorf":
+					codes, ok := codeSets[fn.Pkg()]
+					if !ok {
+						var fact ErrorCodes
+						if pass.ImportPackageFact(fn.Pkg(), &fact) {
+							codes = fact.Codes
+						}
+						codeSets[fn.Pkg()] = codes
+					}
+					if codes != nil {
+						checkErrorfCode(pass, n, fn.Pkg(), codes)
+					}
+				case fn.Name() == "Error" && fn.Pkg().Path() == "net/http":
+					if hasWriteHelper {
+						pass.Reportf(n.Pos(),
+							"http.Error bypasses the %s envelope helper; clients expect the typed {code,message} body", helperName)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// envelopeCodes returns the Code* constant names when the package defines
+// the envelope convention (struct Error{Code, Message string} + func
+// Errorf), nil otherwise.
+func envelopeCodes(pass *framework.Pass, files []*ast.File) []string {
+	scope := pass.Pkg.Scope()
+	obj := scope.Lookup("Error")
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	found := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if (f.Name() == "Code" || f.Name() == "Message") && types.Identical(f.Type(), types.Typ[types.String]) {
+			found++
+		}
+	}
+	if found < 2 {
+		return nil
+	}
+	if _, ok := scope.Lookup("Errorf").(*types.Func); !ok {
+		return nil
+	}
+	var codes []string
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Code") {
+			continue
+		}
+		if c, ok := scope.Lookup(name).(*types.Const); ok {
+			if b, ok := c.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				codes = append(codes, name)
+			}
+		}
+	}
+	if len(codes) == 0 {
+		return nil
+	}
+	return codes
+}
+
+// checkErrorfCode verifies the first argument of an envelope Errorf call
+// references a Code* constant.
+func checkErrorfCode(pass *framework.Pass, call *ast.CallExpr, envPkg *types.Package, codes []string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		pass.Reportf(arg.Pos(),
+			"Errorf code is a raw string literal; pass one of the %s.Code* constants so clients can switch on it",
+			envPkg.Name())
+		return
+	}
+	// A constant from the envelope package must be one of the Code* set.
+	var obj types.Object
+	switch a := arg.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.ObjectOf(a)
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.ObjectOf(a.Sel)
+	}
+	if c, ok := obj.(*types.Const); ok && c.Pkg() == envPkg && !strings.HasPrefix(c.Name(), "Code") {
+		pass.Reportf(arg.Pos(),
+			"Errorf code %s is not one of %s's Code* constants", c.Name(), envPkg.Name())
+	}
+}
+
+// checkDropped flags a bare expression statement discarding an error from
+// a codec/snapshot callee.
+func checkDropped(pass *framework.Pass, es *ast.ExprStmt, errType types.Type) {
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return
+	}
+	if !droppedCallees[name] {
+		return
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1)
+	if !types.Identical(last.Type(), errType) {
+		return
+	}
+	pass.Reportf(es.Pos(),
+		"error from %s dropped on a codec/snapshot path; handle it or discard explicitly with `_ =`", name)
+}
+
+// checkWrap flags fmt.Errorf formatting an error value without %w.
+func checkWrap(pass *framework.Pass, call *ast.CallExpr, errIface *types.Interface) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errIface) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error without %%w; wrap it so errors.Is/As keep working")
+			return
+		}
+	}
+}

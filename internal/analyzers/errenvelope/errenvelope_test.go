@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/errenvelope"
+)
+
+func TestErrenvelope(t *testing.T) {
+	antest.Run(t, antest.TestData(), errenvelope.Analyzer, "env", "srv", "b")
+}

@@ -1,0 +1,26 @@
+// Command b is the package-main fixture for the %w wrapping rule on
+// flag-validation paths.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("quantile count must be non-negative, got %d", n)
+	}
+	return nil
+}
+
+func main() {
+	if err := validate(-1); err != nil {
+		wrapped := fmt.Errorf("validating flags: %v", err) // want `fmt\.Errorf formats an error without %w`
+		good := fmt.Errorf("validating flags: %w", err)
+		_ = errors.Unwrap(good)
+		fmt.Fprintln(os.Stderr, wrapped)
+		os.Exit(2)
+	}
+}

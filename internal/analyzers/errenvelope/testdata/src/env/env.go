@@ -1,0 +1,44 @@
+// Package env is the envelope-definition fixture: a miniature of
+// internal/query's typed error envelope.
+package env
+
+import "fmt"
+
+// Error is the typed {code,message} envelope.
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+const (
+	CodeInvalid  = "invalid"
+	CodeInternal = "internal"
+)
+
+// legacyBadRequest predates the Code* convention.
+const legacyBadRequest = "bad_request"
+
+// Errorf builds an envelope error.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func ok() error { return Errorf(CodeInvalid, "negative count") }
+
+func bad() error {
+	return Errorf("invalid", "negative count") // want `Errorf code is a raw string literal`
+}
+
+func badConst() error {
+	return Errorf(legacyBadRequest, "negative count") // want `Errorf code legacyBadRequest is not one of env's Code\* constants`
+}
+
+// passthrough threads a code parameter; callers are checked at their site.
+func passthrough(code string) error { return Errorf(code, "relayed") }
+
+var _ = ok
+var _ = bad
+var _ = badConst
+var _ = passthrough

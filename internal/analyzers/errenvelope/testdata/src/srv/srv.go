@@ -1,0 +1,47 @@
+// Package srv is the envelope-consumer fixture: an HTTP handler package
+// with a writeError helper, exercising the cross-package code fact, the
+// http.Error bypass rule, and dropped codec errors.
+package srv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"env"
+)
+
+func writeError(w http.ResponseWriter, e *env.Error) {
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(e) // explicit discard: not flagged
+}
+
+func handle(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the writeError envelope helper`
+	writeError(w, env.Errorf(env.CodeInternal, "solver failed"))
+}
+
+func badCode(w http.ResponseWriter) {
+	writeError(w, env.Errorf("oops", "solver failed")) // want `Errorf code is a raw string literal`
+}
+
+type snapshotter struct{}
+
+func (snapshotter) Snapshot() error { return nil }
+func (snapshotter) Flush() error    { return nil }
+func (snapshotter) Reset()          {}
+
+func drop(s snapshotter) {
+	s.Snapshot() // want `error from Snapshot dropped on a codec/snapshot path`
+	_ = s.Flush()
+	s.Reset()
+}
+
+// libWrap shows the %w rule is scoped to package main; library code may
+// format errors freely.
+func libWrap(err error) error { return fmt.Errorf("solving: %v", err) }
+
+var _ = handle
+var _ = badCode
+var _ = drop
+var _ = libWrap

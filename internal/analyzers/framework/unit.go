@@ -1,0 +1,318 @@
+package framework
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+)
+
+// unitConfig mirrors the JSON compilation-unit description `go vet` hands a
+// -vettool binary (one foo.cfg argument per package).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // package path -> fact file from earlier runs
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// wireFact is one serialized package fact inside a vetx file.
+type wireFact struct {
+	Analyzer string
+	PkgPath  string
+	Type     string
+	Data     []byte
+}
+
+// Main implements the `go vet -vettool` command-line protocol:
+//
+//	momentslint -V=full     describe the executable for build caching
+//	momentslint -flags      describe flags as JSON
+//	momentslint foo.cfg     analyze one compilation unit
+//
+// It never returns; the process exits 0 when the unit is clean, 1 when
+// diagnostics were reported, and 2 on operational failure.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	printVersion := flag.String("V", "", "print version and exit (use -V=full for a build-cache identity)")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Parse()
+
+	switch {
+	case *printVersion != "":
+		// cmd/go parses this as "<name> version <semver-or-devel> ...
+		// buildID=<id>"; the executable hash keys vet's result cache so a
+		// rebuilt linter invalidates cached results.
+		fmt.Printf("%s version devel buildID=%s\n", progname, executableHash())
+		os.Exit(0)
+	case *printFlags:
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON output"}}
+		data, err := json.Marshal(flags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("usage: %s [-json] unit.cfg (or run via go vet -vettool=%s)", progname, progname)
+	}
+	diags, fset, id, err := runUnit(args[0], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	if *jsonOut {
+		// The vet JSON shape: {"pkg": {"analyzer": [{posn, message}]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		tree := map[string]map[string][]jsonDiag{id: {}}
+		for _, d := range diags {
+			tree[id][d.Analyzer] = append(tree[id][d.Analyzer], jsonDiag{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		data, err := json.MarshalIndent(tree, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		os.Exit(0) // JSON mode reports findings in-band
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	os.Exit(1)
+}
+
+// executableHash returns a short content hash of the running binary.
+func executableHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnit analyzes one compilation unit: parse, type-check against the
+// build system's export data, import upstream facts, run the analyzers, and
+// persist this unit's facts for downstream packages.
+func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, "", fmt.Errorf("decoding %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, nil, cfg.ID, fmt.Errorf("package %s has no files", cfg.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it better
+			}
+			return nil, nil, cfg.ID, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, nil, cfg.ID, err
+	}
+
+	factTypes := make(map[string]reflect.Type)
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			factTypes[t.String()] = t
+			gob.Register(f)
+		}
+	}
+
+	// Upstream facts: lazily load each dependency's vetx file on first
+	// import. Missing or unreadable files mean "no facts", not failure — a
+	// dependency may predate the fact or have produced none.
+	table := make(factSet)
+	loaded := make(map[string]bool)
+	loadVetx := func(pkgPath string) {
+		if loaded[pkgPath] {
+			return
+		}
+		loaded[pkgPath] = true
+		file, ok := cfg.PackageVetx[pkgPath]
+		if !ok {
+			return
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return
+		}
+		var wire []wireFact
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+			return
+		}
+		for _, wf := range wire {
+			t, ok := factTypes[wf.Type]
+			if !ok {
+				continue
+			}
+			v := reflect.New(t.Elem()).Interface().(Fact)
+			if err := gob.NewDecoder(bytes.NewReader(wf.Data)).Decode(v); err != nil {
+				continue
+			}
+			key := factKey{wf.Analyzer, wf.PkgPath, t}
+			if _, dup := table[key]; !dup {
+				table[key] = v
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	if cfg.VetxOnly {
+		report = func(Diagnostic) {}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    report,
+			importPackageFact: func(path string, f Fact) bool {
+				loadVetx(path)
+				got, ok := table[factKey{a.Name, path, reflect.TypeOf(f)}]
+				if !ok {
+					return false
+				}
+				return copyFact(got, f)
+			},
+			exportPackageFact: func(f Fact) {
+				table[factKey{a.Name, cfg.ImportPath, reflect.TypeOf(f)}] = f
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, cfg.ID, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	// Persist every fact now known (own and inherited) so downstream units
+	// need only their direct vetx inputs.
+	if cfg.VetxOutput != "" {
+		var wire []wireFact
+		for key, f := range table {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+				continue
+			}
+			wire = append(wire, wireFact{
+				Analyzer: key.analyzer,
+				PkgPath:  key.pkgPath,
+				Type:     key.factType.String(),
+				Data:     buf.Bytes(),
+			})
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+			return nil, nil, cfg.ID, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+			return nil, nil, cfg.ID, err
+		}
+	}
+
+	return filterSuppressed(fset, files, diags), fset, cfg.ID, nil
+}

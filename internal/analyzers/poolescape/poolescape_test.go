@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	antest.Run(t, antest.TestData(), poolescape.Analyzer, "a")
+}

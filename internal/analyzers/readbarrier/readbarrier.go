@@ -1,0 +1,164 @@
+// Package readbarrier defines an analyzer enforcing the store's
+// read-your-writes discipline: any type that has a readBarrier or
+// snapshotBarrier method must call one of them in every exported method
+// before directly touching shared state.
+//
+// The barrier drains thread-local ingest buffers (PR 6) so that reads
+// observe prior writes; an exported read path that reaches into the entry
+// maps without it returns stale — or worse, resurrected — data. Shared
+// state is the field set of the package's mutex-guarded structs, as modeled
+// by package guards, including atomics and immutable configuration (a
+// barrier-free fast path on any of them leaks pre-drain snapshots).
+//
+// Only direct field accesses trigger the check: an exported method that
+// delegates to another (already barriered) method is clean. Deliberate
+// barrier-free paths — e.g. write-side entry points that feed the buffers
+// themselves — carry a `//lint:allow readbarrier` directive.
+package readbarrier
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/guards"
+)
+
+// Analyzer is the readbarrier analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "readbarrier",
+	Doc:  "check that exported methods of barrier-bearing types call readBarrier/snapshotBarrier before touching shared state",
+	Run:  run,
+}
+
+// barrierNames are the methods that establish read-your-writes freshness.
+var barrierNames = map[string]bool{
+	"readBarrier":     true,
+	"snapshotBarrier": true,
+}
+
+func run(pass *framework.Pass) error {
+	model := guards.BuildModel(pass)
+	if len(model.State) == 0 {
+		return nil
+	}
+
+	// Which named types define a barrier method?
+	barrierTypes := make(map[*types.Named]bool)
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !barrierNames[fd.Name.Name] {
+				continue
+			}
+			if n := receiverNamed(fd, pass.TypesInfo); n != nil {
+				barrierTypes[n] = true
+			}
+		}
+	}
+	if len(barrierTypes) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			recv := receiverNamed(fd, pass.TypesInfo)
+			if recv == nil || !barrierTypes[recv] {
+				continue
+			}
+			checkMethod(pass, model, fd)
+		}
+	}
+	return nil
+}
+
+// checkMethod reports the first direct shared-state access that precedes
+// every barrier call in the method body (one diagnostic per method).
+func checkMethod(pass *framework.Pass, model *guards.Model, fd *ast.FuncDecl) {
+	// Earliest barrier call position, if any.
+	barrierPos := token.Pos(0)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !barrierNames[sel.Sel.Name] {
+			return true
+		}
+		if barrierPos == 0 || call.Pos() < barrierPos {
+			barrierPos = call.Pos()
+		}
+		return true
+	})
+
+	locals := guards.ConstructorLocals(fd, pass.TypesInfo)
+	var first *ast.SelectorExpr
+	var firstFld *types.Var
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fld := guards.FieldOf(sel, pass.TypesInfo)
+		if fld == nil || !model.State[fld] {
+			return true
+		}
+		if base := baseIdent(sel.X); base != nil && locals[pass.TypesInfo.ObjectOf(base)] {
+			return true
+		}
+		if barrierPos != 0 && sel.Pos() > barrierPos {
+			return true
+		}
+		if first == nil || sel.Pos() < first.Pos() {
+			first, firstFld = sel, fld
+		}
+		return true
+	})
+	if first != nil {
+		pass.Reportf(first.Sel.Pos(),
+			"exported method %s.%s accesses %s before calling readBarrier/snapshotBarrier",
+			receiverNamed(fd, pass.TypesInfo).Obj().Name(), fd.Name.Name, model.Label[firstFld])
+	}
+}
+
+func receiverNamed(fd *ast.FuncDecl, info *types.Info) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}

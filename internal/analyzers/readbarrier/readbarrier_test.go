@@ -1,0 +1,12 @@
+package readbarrier_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/readbarrier"
+)
+
+func TestReadbarrier(t *testing.T) {
+	antest.Run(t, antest.TestData(), readbarrier.Analyzer, "a")
+}

@@ -1,0 +1,114 @@
+// Package a is the readbarrier fixture: a miniature buffered store whose
+// exported readers must drain pending writes before touching state.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type write struct {
+	key string
+	val float64
+}
+
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]float64
+	pending []write // buffered writes drained by readBarrier
+	version atomic.Uint64
+}
+
+func (s *Store) readBarrier() {
+	s.mu.Lock()
+	for _, w := range s.pending {
+		s.entries[w.key] += w.val
+	}
+	s.pending = s.pending[:0]
+	s.version.Add(1)
+	s.mu.Unlock()
+}
+
+func (s *Store) snapshotBarrier() { s.readBarrier() }
+
+// Get drains the buffers before reading: clean.
+func (s *Store) Get(k string) float64 {
+	s.readBarrier()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[k]
+}
+
+// Snapshot uses the other barrier: equally clean.
+func (s *Store) Snapshot() map[string]float64 {
+	s.snapshotBarrier()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.entries))
+	for k, v := range s.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// Len locks but skips the barrier, so it misses everything still buffered.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries) // want `Store\.Len accesses Store\.entries before calling readBarrier`
+}
+
+// Pending mirrors the PR-6 flush-resurrection shape: walking the buffered
+// accumulators directly, without the barrier's drain-and-reset, re-observes
+// writes already merged — including ones whose keys were deleted since.
+func (s *Store) Pending() int {
+	n := 0
+	for _, w := range s.pending { // want `Store\.Pending accesses Store\.pending before calling readBarrier`
+		_ = w
+		n++
+	}
+	return n
+}
+
+// Version shows that atomic fast paths are not exempt: the value is only
+// meaningful after the drain.
+func (s *Store) Version() uint64 {
+	return s.version.Load() // want `Store\.Version accesses Store\.version before calling readBarrier`
+}
+
+// VersionFresh is the corrected shape.
+func (s *Store) VersionFresh() uint64 {
+	s.readBarrier()
+	return s.version.Load()
+}
+
+// Total delegates to Get: only direct state access triggers the check.
+func (s *Store) Total(keys ...string) float64 {
+	var t float64
+	for _, k := range keys {
+		t += s.Get(k)
+	}
+	return t
+}
+
+// Add is the write-side entry point feeding the very buffers the barrier
+// drains; a barrier here would be circular.
+func (s *Store) Add(k string, v float64) {
+	s.mu.Lock()
+	//lint:allow readbarrier write path feeds the buffers the barrier drains
+	s.pending = append(s.pending, write{key: k, val: v})
+	s.mu.Unlock()
+}
+
+// Plain has no barrier methods; its exported methods are out of scope.
+type Plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *Plain) Bump() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	return p.n
+}

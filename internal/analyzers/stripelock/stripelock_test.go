@@ -1,0 +1,12 @@
+package stripelock_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/stripelock"
+)
+
+func TestStripelock(t *testing.T) {
+	antest.Run(t, antest.TestData(), stripelock.Analyzer, "a")
+}

@@ -1,0 +1,116 @@
+// Package a is the stripelock fixture: a miniature of internal/shard's
+// stripe/entry layout exercising every rule of the analyzer.
+package a
+
+import "sync"
+
+type stripe struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	count   float64
+	size    int // set at construction only; never lock-guarded
+}
+
+// entry is reachable only through a stripe and inherits its lock.
+//
+//lint:guardedby stripe.mu
+type entry struct {
+	val  float64
+	ring []int
+}
+
+func newStripe(n int) *stripe {
+	s := &stripe{entries: make(map[string]*entry), size: n}
+	s.count = 0 // ok: constructor-local instance, not yet published
+	return s
+}
+
+func (s *stripe) add(k string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		e = &entry{}
+		s.entries[k] = e
+	}
+	e.val += v
+	s.count++
+}
+
+func (s *stripe) badCount() float64 {
+	return s.count // want `stripe\.count accessed without holding stripe\.mu`
+}
+
+func (s *stripe) badEntry(k string) float64 {
+	return s.entries[k].val // want `stripe\.entries accessed` `entry\.val accessed`
+}
+
+// tryAdd exercises the unlock-then-return shape: the terminating if branch
+// must not poison the fall-through lock state.
+func (s *stripe) tryAdd() bool {
+	s.mu.Lock()
+	if s.entries == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.count++ // ok: lock still held on fall-through
+	s.mu.Unlock()
+	return true
+}
+
+// spawn exercises goroutine isolation: the child holds no locks.
+func (s *stripe) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.count++ // want `stripe\.count accessed without holding stripe\.mu`
+	}()
+}
+
+// scan exercises per-iteration lock spans inside a loop.
+func (s *stripe) scan(keys []string) float64 {
+	var t float64
+	for _, k := range keys {
+		s.mu.Lock()
+		t += s.entries[k].val
+		s.mu.Unlock()
+	}
+	return t
+}
+
+// Size is immutable configuration: readable without the lock.
+func (s *stripe) Size() int { return s.size }
+
+// addLocked is exempt by naming convention: callers hold the lock.
+func (s *stripe) addLocked(k string, v float64) {
+	s.entries[k].val += v
+}
+
+// bump is a method on an externally guarded type: entered with the
+// stripe's lock held, so exempt as a whole.
+func (e *entry) bump() { e.val++ }
+
+func readEntryBad(e *entry) float64 {
+	return e.val // want `entry\.val accessed without holding stripe\.mu`
+}
+
+func readEntryLocked(e *entry) float64 {
+	return e.val // ok: Locked suffix
+}
+
+// sloppy demonstrates the suppression directive.
+func (s *stripe) sloppy() float64 {
+	//lint:allow stripelock approximate read is intentional here
+	return s.count
+}
+
+var _ = newStripe
+var _ = (*stripe).badCount
+var _ = (*stripe).badEntry
+var _ = (*stripe).tryAdd
+var _ = (*stripe).spawn
+var _ = (*stripe).scan
+var _ = (*stripe).sloppy
+var _ = (*entry).bump
+var _ = readEntryBad
+var _ = readEntryLocked

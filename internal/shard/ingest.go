@@ -400,7 +400,7 @@ func (h *Local) flushLocked() int {
 	if h.batch != nil {
 		h.batch.Flush()
 	} else {
-		h.mergeAccs()
+		h.mergeAccsLocked()
 	}
 	h.n = 0
 	h.f.dirty.Add(-1)
@@ -409,7 +409,7 @@ func (h *Local) flushLocked() int {
 	return n
 }
 
-// mergeAccs merges the exact-merge accumulators into the striped store,
+// mergeAccsLocked merges the exact-merge accumulators into the striped store,
 // bucketing keys per stripe so each stripe lock is taken exactly once per
 // flush. Every touched entry is stamped with a fresh mutation version and
 // stripe counts absorb the accumulated observation counts, exactly as a
@@ -420,7 +420,7 @@ func (h *Local) flushLocked() int {
 // observations — resurrecting keys Delete()d since the last flush as
 // phantom empty entries — and would re-version untouched keys, spuriously
 // invalidating solve-cache entries keyed on their versions.
-func (h *Local) mergeAccs() {
+func (h *Local) mergeAccsLocked() {
 	s := h.f.store
 	// Bucket keys per stripe (reusing Batch's bucketing shape but carrying
 	// accumulators, not observations).

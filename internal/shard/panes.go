@@ -42,6 +42,8 @@ type paneSlot struct {
 // Pane indices are absolute (unix nanoseconds / pane width), so rings from
 // different keys — and from snapshots — align without any per-ring epoch.
 // A ring is only ever touched under its stripe's lock.
+//
+//lint:guardedby stripe.mu
 type paneRing struct {
 	slots    []paneSlot
 	retained sketch.Serving
@@ -323,13 +325,13 @@ func (s *Store) emptySeries(start, end int64) *PaneSeries {
 	return ps
 }
 
-// fill merges a ring's live panes into the series (the ring is advanced to
+// fillLocked merges a ring's live panes into the series (the ring is advanced to
 // the series end first, expiring anything stale). Slots outside the series
 // are skipped: below Start when the ring had already advanced past the
 // series end, above the end when observations carried future timestamps
 // (clock skew) — those panes become visible once the clock catches up.
 // Must hold the stripe lock.
-func (ps *PaneSeries) fill(r *paneRing) {
+func (ps *PaneSeries) fillLocked(r *paneRing) {
 	if len(ps.Panes) == 0 {
 		return
 	}
@@ -381,7 +383,7 @@ func (s *Store) PanesRange(key string, start, end int64) (*PaneSeries, error) {
 	if !ok {
 		return nil, ErrNoKey
 	}
-	ps.fill(e.ring)
+	ps.fillLocked(e.ring)
 	ps.Keys = 1
 	return ps, nil
 }
@@ -441,7 +443,7 @@ func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end 
 		st.mu.Lock()
 		for k, e := range st.entries {
 			if strings.HasPrefix(k, prefix) {
-				ps.fill(e.ring)
+				ps.fillLocked(e.ring)
 				ps.Keys++
 			}
 		}

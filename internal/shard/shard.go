@@ -47,6 +47,8 @@ type Observation struct {
 // every restored entry from the live counters (see Restore), so a cache
 // entry recorded before a restore — or before a delete/re-create of the
 // same key — can never falsely match.
+//
+//lint:guardedby stripe.mu
 type entry struct {
 	all     sketch.Serving
 	ring    *paneRing
@@ -298,6 +300,7 @@ func (s *Store) AddAt(key string, x float64, at time.Time) {
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	s.addLocked(st, s.entryLocked(st, key), x, at, nowPane)
+	//lint:allow readbarrier AddAt is the write path the barrier drains into
 	st.count++
 	st.mu.Unlock()
 }
@@ -1037,6 +1040,7 @@ func (s *Store) Restore(r io.Reader) error {
 		}
 		count := 0.0
 		for _, e := range entries {
+			//lint:allow stripelock staged entries are unpublished; counting pre-lock is intentional
 			count += e.all.Count()
 		}
 		st := &s.stripes[i]
