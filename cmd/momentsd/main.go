@@ -11,6 +11,23 @@
 //	         [-ingest-buffer] [-ingest-flush-size N] [-ingest-flush-interval DUR]
 //	         [-ingest-stale] [-snapshot FILE] [-snapshot-interval DUR]
 //	         [-pprof-addr ADDR]
+//	momentsd -coordinator -nodes host1:7607,host2:7607[,...]
+//	         [-addr :7607] [-backend moments] [-k 10] [-node-timeout DUR]
+//	         [-hedge-after DUR] [-hedge-quantile Q] [-pprof-addr ADDR]
+//
+// -coordinator switches momentsd into scatter-gather mode: instead of a
+// local store it serves /ingest and /v1/query by routing keys to the
+// -nodes shard list via rendezvous hashing, fanning selections out
+// concurrently over the internal POST /v1/partials endpoint, and merging
+// the nodes' partial aggregates — O(k) backend-codec vectors — before
+// solving at the coordinator. Fan-out is deadline-aware (each node gets
+// the smaller of -node-timeout and ~90% of the request's remaining
+// deadline; answers missing nodes carry the typed partial_result envelope
+// naming them) and hedges slow shards with one duplicate-suppressed retry
+// after -hedge-after (0 = adaptively after the -hedge-quantile of recent
+// node latencies). -backend/-k must match the shard nodes' configuration;
+// scatter-gather counters appear under "coordinator" on /v1/stats. See
+// ARCHITECTURE.md "Scatter-gather serving".
 //
 // -backend selects the serving summary backend: the default "moments"
 // sketch, or one of the paper's §6.1 baselines — "merge12", "tdigest",
@@ -95,10 +112,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/server"
@@ -124,23 +143,62 @@ func main() {
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+
+		coordinator   = flag.Bool("coordinator", false, "scatter-gather mode: route to the -nodes shard list instead of serving a local store")
+		nodesSpec     = flag.String("nodes", "", "comma-separated shard node base URLs (coordinator mode; bare host:port gets the http scheme)")
+		nodeTimeout   = flag.Duration("node-timeout", 2*time.Second, "per-node budget for one fan-out attempt (coordinator mode)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed delay before hedging a slow shard with a duplicate request (0 = adaptive from -hedge-quantile; coordinator mode)")
+		hedgeQuantile = flag.Float64("hedge-quantile", 0.9, "latency quantile of recent node responses used as the adaptive hedge delay, in (0,1) (coordinator mode)")
 	)
 	flag.Parse()
 
 	if *order < 1 || *order > core.MaxK {
 		log.Fatalf("momentsd: -k %d outside [1,%d]", *order, core.MaxK)
 	}
-	opts := []shard.Option{shard.WithOrder(*order), shard.WithShards(*shards)}
+	var backend sketch.Backend
 	if *backendSpec != "" && *backendSpec != "moments" {
-		backend, err := sketch.ParseBackend(*backendSpec)
+		b, err := sketch.ParseBackend(*backendSpec)
 		if err != nil {
 			log.Fatalf("momentsd: -backend: %v", err)
 		}
-		if backend.Name == "moments" {
+		if b.Name == "moments" {
 			// "moments:K" routes through the order flag path so -k and the
 			// spec cannot disagree silently.
 			log.Fatalf("momentsd: use -k to parameterize the moments backend")
 		}
+		backend = b
+	}
+
+	if *coordinator {
+		if *nodesSpec == "" {
+			log.Fatalf("momentsd: -coordinator requires -nodes")
+		}
+		if *snapshotPath != "" || *ingestBuffer || *paneWidth != 0 {
+			log.Fatalf("momentsd: -snapshot, -ingest-buffer and -pane-width configure a local store; a coordinator has none")
+		}
+		if *hedgeQuantile <= 0 || *hedgeQuantile >= 1 {
+			log.Fatalf("momentsd: -hedge-quantile %g outside (0,1)", *hedgeQuantile)
+		}
+		if backend.IsZero() {
+			backend = sketch.MomentsBackend(*order)
+		}
+		runCoordinator(coordinatorConfig{
+			addr:          *addr,
+			backend:       backend,
+			nodes:         strings.Split(*nodesSpec, ","),
+			nodeTimeout:   *nodeTimeout,
+			hedgeAfter:    *hedgeAfter,
+			hedgeQuantile: *hedgeQuantile,
+			pprofAddr:     *pprofAddr,
+		})
+		return
+	}
+	if *nodesSpec != "" {
+		log.Fatalf("momentsd: -nodes requires -coordinator")
+	}
+
+	opts := []shard.Option{shard.WithOrder(*order), shard.WithShards(*shards)}
+	if !backend.IsZero() {
 		opts = append(opts, shard.WithBackend(backend))
 	}
 	if *paneWidth < 0 {
@@ -198,18 +256,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *pprofAddr != "" {
-		// The profiling endpoints live on their own listener (and the
-		// default mux), so they are never reachable through the serving
-		// address. See ARCHITECTURE.md "Profiling a live daemon".
-		go func() {
-			log.Printf("momentsd: pprof listening on %s", *pprofAddr)
-			pp := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
-			if err := pp.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("momentsd: pprof server: %v", err)
-			}
-		}()
-	}
+	startPprof(*pprofAddr)
 
 	// snapMu serializes snapshot saves so an in-flight periodic save cannot
 	// finish after — and thereby clobber — the final shutdown snapshot.
@@ -270,6 +317,78 @@ func main() {
 		}
 		log.Printf("momentsd: snapshot saved to %s", *snapshotPath)
 	}
+}
+
+// coordinatorConfig carries the coordinator-mode settings from flag
+// parsing to startup.
+type coordinatorConfig struct {
+	addr          string
+	backend       sketch.Backend
+	nodes         []string
+	nodeTimeout   time.Duration
+	hedgeAfter    time.Duration
+	hedgeQuantile float64
+	pprofAddr     string
+}
+
+// runCoordinator boots the scatter-gather coordinator: no local store, no
+// snapshots — just routing, fan-out, merge and solve over the shard nodes.
+func runCoordinator(cfg coordinatorConfig) {
+	coord, err := cluster.New(cluster.Config{
+		Nodes:         cfg.nodes,
+		Backend:       cfg.backend,
+		NodeTimeout:   cfg.nodeTimeout,
+		HedgeAfter:    cfg.hedgeAfter,
+		HedgeQuantile: cfg.hedgeQuantile,
+	})
+	if err != nil {
+		log.Fatalf("momentsd: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           server.NewCoordinator(coord),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	startPprof(cfg.pprofAddr)
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("momentsd: coordinating %d nodes on %s (backend %s)",
+			len(coord.Nodes()), cfg.addr, cfg.backend.Fingerprint())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("momentsd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("momentsd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("momentsd: shutdown: %v", err)
+	}
+}
+
+// startPprof serves net/http/pprof on its own listener (and the default
+// mux), so the profiling endpoints are never reachable through the serving
+// address. See ARCHITECTURE.md "Profiling a live daemon". Empty addr = off.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("momentsd: pprof listening on %s", addr)
+		pp := &http.Server{Addr: addr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		if err := pp.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("momentsd: pprof server: %v", err)
+		}
+	}()
 }
 
 // loadSnapshot restores the store from path; a missing file is not an

@@ -1,0 +1,60 @@
+// Package cluster implements scatter-gather serving: a coordinator that
+// routes keys to shard nodes via rendezvous hashing, fans query selections
+// out concurrently, and merges the nodes' partial aggregates — small
+// backend-codec vectors, not raw data (the paper's O(k) mergeability, §1,
+// §4) — before solving. The fan-out is deadline-aware (per-node budgets
+// derived from the request context, partial answers surfaced with the typed
+// partial_result envelope) and hedges slow shards with a single
+// duplicate-suppressed retry.
+package cluster
+
+import "hash/fnv"
+
+// rendezvousScore ranks node for key: the highest score across nodes owns
+// the key (highest-random-weight hashing). Scores are deterministic in the
+// (node, key) pair, so every coordinator — and every restart — agrees on
+// the placement, and removing one node only moves that node's keys.
+//
+// The fnv64a state is passed through a splitmix64 finalizer: raw FNV-1a has
+// no final avalanche, so for node URLs differing in only a few bytes (the
+// common "same host, different port" cluster) the inter-node score deltas
+// are nearly key-independent and one node wins almost every fixed-length
+// key. The finalizer makes every state bit reach every score bit.
+func rendezvousScore(node, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators"): an invertible xorshift-multiply
+// avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the index of the node that owns key.
+func (c *Coordinator) Owner(key string) int {
+	best, bestScore := 0, uint64(0)
+	for i, n := range c.nodes {
+		if s := rendezvousScore(n, key); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Nodes returns the normalized base URLs of the shard nodes, in routing
+// order.
+func (c *Coordinator) Nodes() []string {
+	out := make([]string, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}

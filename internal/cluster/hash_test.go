@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+func testCoordinator(t *testing.T, nodes ...string) *Coordinator {
+	t.Helper()
+	c, err := New(Config{Nodes: nodes, Backend: sketch.MomentsBackend(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestOwnerIsStableAndBalanced pins the rendezvous placement: every key has
+// exactly one deterministic owner, and a realistic keyspace spreads without
+// pathological skew.
+func TestOwnerIsStableAndBalanced(t *testing.T) {
+	c := testCoordinator(t, "http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	counts := make([]int, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("svc.%d.latency", i)
+		owner := c.Owner(k)
+		if owner != c.Owner(k) {
+			t.Fatalf("key %q: owner not stable", k)
+		}
+		counts[owner]++
+	}
+	for i, got := range counts {
+		// fnv64a rendezvous over 4 nodes: each should take ~25%; anything
+		// under 15% or over 35% signals a broken score function.
+		if got < n*15/100 || got > n*35/100 {
+			t.Fatalf("node %d owns %d of %d keys: placement badly skewed (%v)", i, got, n, counts)
+		}
+	}
+}
+
+// TestOwnerBalancedWithSimilarNodeURLs pins the avalanche quality of the
+// score function with the adversarial-but-ordinary shape that broke raw
+// fnv64a rendezvous: node URLs identical except for a few port digits (an
+// in-process or single-host cluster) and a fixed-length structured
+// keyspace. Without a finalizer the inter-node score deltas barely depend
+// on the key and one node owns nearly everything.
+func TestOwnerBalancedWithSimilarNodeURLs(t *testing.T) {
+	c := testCoordinator(t,
+		"http://127.0.0.1:41811", "http://127.0.0.1:41812",
+		"http://127.0.0.1:41911", "http://127.0.0.1:43811")
+	counts := make([]int, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		// Every key the same length, digits only in fixed positions.
+		owner := c.Owner(fmt.Sprintf("us.web.%04d", i))
+		counts[owner]++
+	}
+	for i, got := range counts {
+		if got < n*15/100 || got > n*35/100 {
+			t.Fatalf("node %d owns %d of %d keys: placement badly skewed (%v)", i, got, n, counts)
+		}
+	}
+}
+
+// TestOwnerMinimalDisruption pins the rendezvous property that removing a
+// node only moves that node's keys: every key owned by a surviving node
+// keeps its owner in the shrunken cluster.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full := testCoordinator(t, nodes...)
+	small := testCoordinator(t, nodes[:3]...)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("svc.%d.latency", i)
+		if owner := full.Owner(k); owner < 3 && small.Owner(k) != owner {
+			t.Fatalf("key %q moved from surviving node %d to %d when node 3 left",
+				k, owner, small.Owner(k))
+		}
+	}
+}
+
+// TestNewNormalizesNodeURLs pins the URL normalization: bare host:port gains
+// the http scheme, trailing slashes are dropped, and blank entries fail.
+func TestNewNormalizesNodeURLs(t *testing.T) {
+	c := testCoordinator(t, "host1:7070", "http://host2:7070/", " host3:7070 ")
+	want := []string{"http://host1:7070", "http://host2:7070", "http://host3:7070"}
+	got := c.Nodes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+	if _, err := New(Config{Nodes: []string{"host:1", "  "}, Backend: sketch.MomentsBackend(6)}); err == nil {
+		t.Fatal("blank node accepted")
+	}
+	if _, err := New(Config{Backend: sketch.MomentsBackend(6)}); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := New(Config{Nodes: []string{"host:1"}}); err == nil {
+		t.Fatal("zero backend accepted")
+	}
+}

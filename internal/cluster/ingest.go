@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Observation is one routed ingest record, matching the shard nodes'
+// /ingest JSON shape.
+type Observation struct {
+	Key   string   `json:"key"`
+	Value *float64 `json:"value"`
+	TS    *float64 `json:"ts,omitempty"`
+}
+
+// Ingest partitions observations by rendezvous owner and forwards one
+// /ingest batch per owning node, concurrently. It returns the total count
+// the nodes ingested and the nodes whose batch could not be delivered
+// (their observations are dropped, never re-routed — re-routing would put
+// keys on non-owner nodes and split their sketches). Ingest never hedges:
+// a duplicated delivery would double-count, which no deduplication
+// downstream could undo.
+func (c *Coordinator) Ingest(ctx context.Context, obs []Observation) (int, []string, error) {
+	batches := make([][]Observation, len(c.nodes))
+	for _, o := range obs {
+		n := c.Owner(o.Key)
+		batches[n] = append(batches[n], o)
+	}
+
+	var (
+		mu       sync.Mutex
+		ingested int
+		failed   []string
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for n := range c.nodes {
+		if len(batches[n]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			count, err := c.postIngest(ctx, n, batches[n])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed = append(failed, c.nodes[n])
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			ingested += count
+		}(n)
+	}
+	wg.Wait()
+	sort.Strings(failed)
+	return ingested, failed, firstErr
+}
+
+// postIngest delivers one node's batch over the standard /ingest endpoint.
+func (c *Coordinator) postIngest(ctx context.Context, n int, batch []Observation) (int, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	actx, cancel := context.WithTimeout(ctx, c.nodeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.nodes[n]+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.nodeRequests[n].Add(1)
+	start := time.Now()
+	resp, err := c.transport.Do(req)
+	if err != nil {
+		c.nodeFailures[n].Add(1)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		c.nodeFailures[n].Add(1)
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.nodeFailures[n].Add(1)
+		msg := data
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		return 0, fmt.Errorf("node %s: HTTP %d: %s", c.nodes[n], resp.StatusCode, msg)
+	}
+	c.lat.record(time.Since(start))
+	var reply struct {
+		Ingested int `json:"ingested"`
+	}
+	if err := json.Unmarshal(data, &reply); err != nil {
+		c.nodeFailures[n].Add(1)
+		return 0, fmt.Errorf("node %s: %w", c.nodes[n], err)
+	}
+	return reply.Ingested, nil
+}

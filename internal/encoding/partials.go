@@ -1,0 +1,268 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Partials framing: the scatter-gather wire format.
+//
+// A coordinator fans /v1/query selections out to shard nodes; each node
+// answers with per-selection partial aggregates — merged rollup summaries in
+// the backend's own codec — framed by this layout so N small vectors cross
+// the network instead of raw data (the paper's O(k) mergeability, §1):
+//
+//	magic(2)="MP" version(1)
+//	backend fingerprint: str
+//	set count: uvarint
+//	per set:
+//	  code: str   (empty = success; otherwise a query error code)
+//	  message: str
+//	  group count: uvarint
+//	  per group:
+//	    label: str
+//	    keys: uvarint
+//	    window flag: byte (0/1); if 1: start f64, end f64, panes uvarint
+//	    payload: bytes (str framing; a backend-codec summary)
+//
+// where str is uvarint length + raw bytes, integers are little-endian and
+// f64 is an IEEE-754 bit pattern. Every claimed length is checked against
+// the remaining input before any allocation, so a truncated or hostile
+// payload fails with ErrCorrupt instead of demanding memory it never sent;
+// the summary payloads themselves stay opaque here and are re-validated by
+// the backend codec (internal/sketch) on decode.
+const (
+	magicPartials   = 0x504D // "MP"
+	versionPartials = 1
+)
+
+// PartialGroup is one rollup of a partials response: the group metadata a
+// coordinator needs to line partials up across nodes, plus the opaque
+// backend-codec payload of the node's merged summary.
+type PartialGroup struct {
+	// Label is the group's label: a group-by segment value or a window's
+	// RFC 3339 start instant (empty for plain key/prefix selections).
+	Label string
+	// Keys counts the per-key sketches merged into this node's partial.
+	Keys uint64
+	// HasWindow marks window selections; WindowStart/WindowEnd/WindowPanes
+	// then carry the wall-clock span, [start, end) in unix seconds.
+	HasWindow   bool
+	WindowStart float64
+	WindowEnd   float64
+	WindowPanes uint64
+	// Payload is the node's merged summary in the backend's own codec.
+	Payload []byte
+}
+
+// PartialSet is one selection's outcome on one node: either an error
+// envelope (Code non-empty) or the node's partial groups.
+type PartialSet struct {
+	// Code and Message carry the selection-level error envelope; an empty
+	// Code means success.
+	Code    string
+	Message string
+	Groups  []PartialGroup
+}
+
+// MarshalPartials frames a partials response: the serving backend's
+// fingerprint plus one PartialSet per requested selection, in request order.
+func MarshalPartials(backend string, sets []PartialSet) []byte {
+	buf := make([]byte, 3, 64+len(sets)*16)
+	binary.LittleEndian.PutUint16(buf[0:], magicPartials)
+	buf[2] = versionPartials
+	buf = appendPartialsStr(buf, backend)
+	buf = appendPartialsUvarint(buf, uint64(len(sets)))
+	for i := range sets {
+		set := &sets[i]
+		buf = appendPartialsStr(buf, set.Code)
+		buf = appendPartialsStr(buf, set.Message)
+		buf = appendPartialsUvarint(buf, uint64(len(set.Groups)))
+		for j := range set.Groups {
+			g := &set.Groups[j]
+			buf = appendPartialsStr(buf, g.Label)
+			buf = appendPartialsUvarint(buf, g.Keys)
+			if g.HasWindow {
+				buf = append(buf, 1)
+				buf = appendPartialsF64(buf, g.WindowStart)
+				buf = appendPartialsF64(buf, g.WindowEnd)
+				buf = appendPartialsUvarint(buf, g.WindowPanes)
+			} else {
+				buf = append(buf, 0)
+			}
+			buf = appendPartialsUvarint(buf, uint64(len(g.Payload)))
+			buf = append(buf, g.Payload...)
+		}
+	}
+	return buf
+}
+
+// UnmarshalPartials decodes a partials response. Any structural defect —
+// bad magic, unknown version, a claimed length exceeding the remaining
+// input, trailing bytes — returns ErrCorrupt (or an unsupported-version
+// error); allocations are bounded by the input size, so a hostile frame can
+// neither panic nor balloon memory.
+func UnmarshalPartials(data []byte) (backend string, sets []PartialSet, err error) {
+	if len(data) < 3 || binary.LittleEndian.Uint16(data) != magicPartials {
+		return "", nil, ErrCorrupt
+	}
+	if data[2] != versionPartials {
+		return "", nil, fmt.Errorf("encoding: unsupported partials version %d", data[2])
+	}
+	r := &partialsReader{data: data[3:]}
+	backend = r.str()
+	nsets := r.count()
+	if r.err == nil && nsets > 0 {
+		sets = make([]PartialSet, nsets)
+		for i := range sets {
+			sets[i].Code = r.str()
+			sets[i].Message = r.str()
+			ngroups := r.count()
+			if r.err != nil || ngroups == 0 {
+				continue
+			}
+			groups := make([]PartialGroup, ngroups)
+			for j := range groups {
+				g := &groups[j]
+				g.Label = r.str()
+				g.Keys = r.uvarint()
+				switch r.byte() {
+				case 0:
+				case 1:
+					g.HasWindow = true
+					g.WindowStart = r.f64()
+					g.WindowEnd = r.f64()
+					g.WindowPanes = r.uvarint()
+					// A window span is wall-clock seconds: NaN or ±Inf
+					// bounds can only come from a hostile frame, and would
+					// poison the coordinator's group alignment and sort.
+					if math.IsNaN(g.WindowStart) || math.IsInf(g.WindowStart, 0) ||
+						math.IsNaN(g.WindowEnd) || math.IsInf(g.WindowEnd, 0) {
+						r.fail()
+					}
+				default:
+					r.fail()
+				}
+				g.Payload = r.bytes()
+			}
+			sets[i].Groups = groups
+		}
+	}
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if len(r.data) != 0 {
+		return "", nil, ErrCorrupt
+	}
+	return backend, sets, nil
+}
+
+func appendPartialsUvarint(buf []byte, v uint64) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], v)
+	return append(buf, scratch[:n]...)
+}
+
+func appendPartialsF64(buf []byte, v float64) []byte {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+	return append(buf, scratch[:]...)
+}
+
+func appendPartialsStr(buf []byte, s string) []byte {
+	buf = appendPartialsUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// partialsReader walks a partials frame, latching the first error. Every
+// count is validated against the remaining input before use, so no claimed
+// length can drive an allocation larger than the frame itself.
+type partialsReader struct {
+	data []byte
+	err  error
+}
+
+func (r *partialsReader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+	r.data = nil
+}
+
+func (r *partialsReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+// count reads a collection length, rejecting claims that exceed the
+// remaining input (every counted item occupies at least one byte).
+func (r *partialsReader) count() int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.data)) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *partialsReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 1 {
+		r.fail()
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *partialsReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+// bytes reads a length-prefixed byte field, copying out of the frame so the
+// result does not alias the (possibly pooled) input buffer.
+func (r *partialsReader) bytes() []byte {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.data[:n])
+	r.data = r.data[n:]
+	return out
+}
+
+// str reads a length-prefixed string field.
+func (r *partialsReader) str() string {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}

@@ -1,0 +1,185 @@
+package encoding
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func samplePartials() (string, []PartialSet) {
+	return "moments(k=10)", []PartialSet{
+		{
+			Groups: []PartialGroup{
+				{Label: "", Keys: 3, Payload: []byte{0xAA, 0xBB, 0xCC}},
+				{Label: "web", Keys: 1, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			},
+		},
+		{Code: "not_found", Message: `no keys with prefix "eu."`},
+		{
+			Groups: []PartialGroup{
+				{
+					Label: "2026-01-02T03:04:05Z", Keys: 7,
+					HasWindow: true, WindowStart: 120, WindowEnd: 180, WindowPanes: 4,
+					Payload: []byte{9},
+				},
+			},
+		},
+		{}, // success with zero groups: a node with no matching data
+	}
+}
+
+func TestPartialsRoundTrip(t *testing.T) {
+	backend, sets := samplePartials()
+	data := MarshalPartials(backend, sets)
+	gotBackend, gotSets, err := UnmarshalPartials(data)
+	if err != nil {
+		t.Fatalf("UnmarshalPartials: %v", err)
+	}
+	if gotBackend != backend {
+		t.Fatalf("backend = %q, want %q", gotBackend, backend)
+	}
+	if !reflect.DeepEqual(gotSets, sets) {
+		t.Fatalf("sets round-trip mismatch:\n got %#v\nwant %#v", gotSets, sets)
+	}
+}
+
+func TestPartialsEmpty(t *testing.T) {
+	data := MarshalPartials("", nil)
+	backend, sets, err := UnmarshalPartials(data)
+	if err != nil {
+		t.Fatalf("UnmarshalPartials: %v", err)
+	}
+	if backend != "" || len(sets) != 0 {
+		t.Fatalf("got backend %q, %d sets; want empty", backend, len(sets))
+	}
+}
+
+func TestPartialsPayloadDoesNotAliasInput(t *testing.T) {
+	data := MarshalPartials("b", []PartialSet{{Groups: []PartialGroup{{Payload: []byte{1, 2, 3}}}}})
+	_, sets, err := UnmarshalPartials(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if want := []byte{1, 2, 3}; !bytes.Equal(sets[0].Groups[0].Payload, want) {
+		t.Fatalf("payload aliases the input buffer: %v", sets[0].Groups[0].Payload)
+	}
+}
+
+func TestPartialsRejectsTruncation(t *testing.T) {
+	backend, sets := samplePartials()
+	data := MarshalPartials(backend, sets)
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := UnmarshalPartials(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(data))
+		}
+	}
+}
+
+func TestPartialsRejectsTrailingBytes(t *testing.T) {
+	backend, sets := samplePartials()
+	data := append(MarshalPartials(backend, sets), 0x00)
+	if _, _, err := UnmarshalPartials(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPartialsRejectsBadHeader(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       {0x4D},
+		"wrong magic": {0x4D, 0x53, 1, 0},
+		"moments MS":  append([]byte("MS"), make([]byte, 32)...),
+	}
+	for name, data := range cases {
+		if _, _, err := UnmarshalPartials(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Unknown versions must fail loudly, not as generic corruption, so a
+	// rolling upgrade surfaces the real problem.
+	bad := MarshalPartials("b", nil)
+	bad[2] = 99
+	if _, _, err := UnmarshalPartials(bad); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown version: err = %v, want a version error", err)
+	}
+}
+
+// TestPartialsHostileCountsStayBounded pins the no-OOM guarantee: a tiny
+// frame claiming huge collection or payload lengths must fail before any
+// allocation proportional to the claim.
+// TestPartialsNonFiniteWindowRejected pins the window-span hardening: NaN
+// or infinite window bounds decode as ErrCorrupt — no honest node emits
+// them, and they would poison a coordinator's group alignment and sort.
+func TestPartialsNonFiniteWindowRejected(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		frame := MarshalPartials("moments(k=10)", []PartialSet{{
+			Groups: []PartialGroup{{
+				HasWindow:   true,
+				WindowStart: bad,
+				WindowEnd:   0,
+				WindowPanes: 1,
+				Payload:     []byte{1},
+			}},
+		}})
+		if _, _, err := UnmarshalPartials(frame); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("window start %v: err = %v, want ErrCorrupt", bad, err)
+		}
+	}
+}
+
+func TestPartialsHostileCountsStayBounded(t *testing.T) {
+	hostile := [][]byte{
+		// Header + backend "" + set count claiming 2^40.
+		append(header(t), 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20),
+		// One set, no error, group count 2^40.
+		append(header(t), 0x00, 0x01, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20),
+		// One set, one group, empty label, keys 1, no window, payload claiming 2^40.
+		append(header(t), 0x00, 0x01, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20),
+		// Backend string claiming 2^40 bytes.
+		append(header(t), 0x80, 0x80, 0x80, 0x80, 0x80, 0x20),
+	}
+	for i, data := range hostile {
+		if _, _, err := UnmarshalPartials(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("hostile frame %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func header(t *testing.T) []byte {
+	t.Helper()
+	return []byte{0x4D, 0x50, versionPartials}
+}
+
+// FuzzDecodePartials drives the partials decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode canonically and
+// decode back to the same value.
+func FuzzDecodePartials(f *testing.F) {
+	backend, sets := samplePartials()
+	valid := MarshalPartials(backend, sets)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(MarshalPartials("", nil))
+	f.Add(MarshalPartials("merge12(k=32)", []PartialSet{{Code: "deadline_exceeded", Message: "x"}}))
+	f.Add([]byte("MP"))
+	f.Add([]byte{0x4D, 0x50, 2, 0, 0})
+	f.Add(append([]byte{0x4D, 0x50, 1}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		backend, sets, err := UnmarshalPartials(data)
+		if err != nil {
+			return
+		}
+		re := MarshalPartials(backend, sets)
+		backend2, sets2, err := UnmarshalPartials(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if backend2 != backend || !reflect.DeepEqual(sets2, sets) {
+			t.Fatalf("re-encode round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package query
+
+import (
+	"context"
+
+	"repro/internal/cascade"
+	"repro/internal/encoding"
+	"repro/internal/maxent"
+	"repro/internal/sketch"
+)
+
+// Scatter-gather support: the node side resolves selections into marshaled
+// partial aggregates (Engine.ResolvePartials), and the coordinator side
+// re-evaluates aggregations over merged partials without a local store
+// (Evaluator). Both reuse the engine's planning, caching and evaluation
+// machinery, so a distributed answer is computed by exactly the code that
+// answers single-node queries.
+
+// Partial is one rollup of a node's partials answer: the group metadata the
+// coordinator aligns across nodes plus the merged summary in the serving
+// backend's own codec — the paper's O(k) mergeability is what makes this a
+// small vector instead of raw data.
+type Partial struct {
+	// Label is the group label (group-by segment value or window start
+	// instant; empty for plain key/prefix selections).
+	Label string
+	// Window is the wall-clock span for window selections, nil otherwise.
+	Window *WindowRange
+	// Keys counts the per-key sketches merged into this node's partial.
+	Keys int
+	// Payload is the merged summary in the backend codec
+	// (sketch.Backend.Unmarshal decodes it).
+	Payload []byte
+}
+
+// PartialSet is one selection's outcome on one node: an error envelope, or
+// the node's partial groups.
+type PartialSet struct {
+	Groups []Partial
+	Err    *Error
+}
+
+// ResolvePartials materializes each selection's rollups from the local
+// store and marshals them in the serving backend's codec, for shipping to a
+// scatter-gather coordinator. Failures are isolated per selection — a
+// not_found on this shard is an ordinary outcome the coordinator interprets
+// against the other shards' answers.
+func (e *Engine) ResolvePartials(ctx context.Context, sels []Selection) []PartialSet {
+	out := make([]PartialSet, len(sels))
+	for i := range sels {
+		sel := &sels[i]
+		if err := sel.validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = ctxError(err)
+			continue
+		}
+		groups, selErr := e.resolveCached(ctx, sel)
+		if selErr != nil {
+			out[i].Err = selErr
+			continue
+		}
+		parts := make([]Partial, 0, len(groups))
+		for _, g := range groups {
+			payload, err := e.marshalGroup(g)
+			if err != nil {
+				parts = nil
+				out[i].Err = err
+				break
+			}
+			parts = append(parts, Partial{
+				Label:   g.label,
+				Window:  g.window,
+				Keys:    g.keys,
+				Payload: payload,
+			})
+		}
+		out[i].Groups = parts
+	}
+	return out
+}
+
+// marshalGroup serializes one resolved rollup in the serving backend's
+// codec. Moments-backed groups marshal the raw sketch view directly — a pure
+// read, safe on cache-shared groups; other backends clone first because
+// their codecs may compact in place.
+func (e *Engine) marshalGroup(g *group) ([]byte, *Error) {
+	if g.sk != nil {
+		return encoding.Marshal(g.sk), nil
+	}
+	data, err := e.backend.Marshal(g.sum.Clone())
+	if err != nil {
+		return nil, Errorf(CodeBackendUnsupported, "marshaling %q partial: %v", e.backend.Name, err)
+	}
+	return data, nil
+}
+
+// Validate checks the subquery without touching any data — the exported
+// entry point for coordinators that plan a batch before fanning it out.
+func (q *Subquery) Validate() *Error { return q.validate() }
+
+// SelectionKey canonicalizes a selection for deduplication, so a
+// coordinator fans each distinct rollup out exactly once per node no matter
+// how many subqueries reference it. Distinct selections never collide, even
+// with crafted key bytes.
+func SelectionKey(sel *Selection) string { return selectionKey(sel) }
+
+// Evaluator answers aggregations over externally merged rollups — the
+// coordinator side of scatter-gather serving. It is an Engine without a
+// store: the same solver, threshold cascade, degradation policy and
+// memoized max-ent solves, applied to summaries merged from shard partials
+// instead of resolved locally. Safe for concurrent use.
+type Evaluator struct {
+	e Engine
+}
+
+// NewEvaluator wires an Evaluator for the given serving backend and solver
+// options. Backend and solver must match the shard nodes' configuration —
+// the fingerprint travels in the partials frame so mismatches are caught on
+// decode.
+func NewEvaluator(backend sketch.Backend, solver maxent.Options) *Evaluator {
+	return &Evaluator{e: Engine{backend: backend, solver: solver, sep: "."}}
+}
+
+// Backend returns the serving backend the evaluator answers from.
+func (ev *Evaluator) Backend() sketch.Backend { return ev.e.backend }
+
+// ValidateOps rejects aggregations the serving backend cannot answer,
+// before any fan-out work.
+func (ev *Evaluator) ValidateOps(sq *Subquery) *Error { return ev.e.validateBackendOps(sq) }
+
+// CascadeStats returns the threshold-cascade counters accumulated by
+// evaluations on this evaluator.
+func (ev *Evaluator) CascadeStats() cascade.Stats { return ev.e.CascadeStats() }
+
+// MergedGroup is one rollup the coordinator assembled by merging shard
+// partials: the aligned group metadata plus the merged serving summary.
+type MergedGroup struct {
+	Label  string
+	Window *WindowRange
+	Keys   int
+	Sum    sketch.Serving
+}
+
+// Prepared holds merged rollups staged for evaluation: max-ent solves are
+// memoized per group, and consecutive window positions are chained so each
+// solve warm-starts from its neighbour's θ — exactly as on a single node.
+type Prepared struct {
+	groups []*group
+}
+
+// Prepare stages merged rollups for evaluation. The input order is
+// preserved; for sliding-window selections pass positions oldest-first so
+// warm-start chaining follows the slide.
+func (ev *Evaluator) Prepare(merged []MergedGroup) *Prepared {
+	groups := make([]*group, len(merged))
+	var prev *group
+	for i := range merged {
+		mg := &merged[i]
+		g := newGroup(mg.Sum, mg.Keys)
+		g.label = mg.Label
+		g.window = mg.Window
+		if mg.Window != nil && ev.e.backend.Caps.WarmStart && prev != nil && prev.window != nil {
+			g.prev = prev
+		}
+		groups[i] = g
+		prev = g
+	}
+	return &Prepared{groups: groups}
+}
+
+// Evaluate answers one subquery's aggregations over the prepared rollups,
+// one GroupResult per group in prepared order. Prepared groups may be
+// shared across concurrent Evaluate calls.
+func (ev *Evaluator) Evaluate(p *Prepared, sq *Subquery) []GroupResult {
+	return ev.e.evalSubquery(p.groups, sq)
+}

@@ -41,6 +41,11 @@ const (
 	// answer: an aggregation needing moment structure on a non-moments
 	// backend, a moments-only endpoint, or a cross-backend merge.
 	CodeBackendUnsupported = "backend_unsupported"
+	// CodePartialResult marks a scatter-gather answer computed without every
+	// shard node: the coordinator's deadline or a node failure dropped some
+	// partials, the reachable nodes' data was merged anyway, and Error.Nodes
+	// lists the shards missing from the result.
+	CodePartialResult = "partial_result"
 )
 
 // Error is the structured {code, message} envelope used for request-level,
@@ -48,6 +53,9 @@ const (
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Nodes lists the shard nodes missing from a scatter-gather answer;
+	// only set on CodePartialResult envelopes.
+	Nodes []string `json:"nodes,omitempty"`
 }
 
 // Error implements the error interface.
@@ -70,6 +78,10 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusRequestEntityTooLarge
 	case CodeBackendUnsupported:
 		return http.StatusBadRequest
+	case CodePartialResult:
+		// Partial results travel alongside merged data from the reachable
+		// shards — some targets answered, some did not.
+		return http.StatusMultiStatus
 	}
 	return http.StatusInternalServerError
 }

@@ -147,6 +147,7 @@ func New(store *shard.Store, opts ...ServerOption) *Server {
 
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/query", s.handleQueryV1)
+	s.mux.HandleFunc("POST /v1/partials", s.handlePartialsV1)
 	s.mux.HandleFunc("POST /v1/windows", s.handleWindowsV1)
 	// Deprecated single-shot query endpoints, kept as adapters over the
 	// same engine; prefer POST /v1/query.
@@ -413,6 +414,66 @@ func decodeNDJSON(r io.Reader, batch *shard.Batch) error {
 		batch.AddAt(o.Key, *o.Value, o.at())
 	}
 	return sc.Err()
+}
+
+// decodeWireObservations decodes an ingest body into wire observations
+// without a backing store batch — the coordinator path, which re-marshals
+// each observation for its owning node. It dispatches on Content-Type
+// exactly like the single-node /ingest: NDJSON (or text/plain) decodes one
+// object per line, anything else as a bare array or an {"observations":…}
+// envelope. Every observation is validated; a rejected body yields nil.
+func decodeWireObservations(r io.Reader, contentType string) ([]wireObservation, error) {
+	if strings.HasPrefix(contentType, "application/x-ndjson") || strings.HasPrefix(contentType, "text/plain") {
+		sc := bufio.NewScanner(r)
+		bufp := lineBufPool.Get().(*[]byte)
+		defer lineBufPool.Put(bufp)
+		sc.Buffer(*bufp, shard.MaxKeyLen+64*1024)
+		var obs []wireObservation
+		line := 0
+		for sc.Scan() {
+			line++
+			text := bytes.TrimSpace(sc.Bytes())
+			if len(text) == 0 {
+				continue
+			}
+			var o wireObservation
+			if err := json.Unmarshal(text, &o); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := o.check(); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			obs = append(obs, o)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return obs, nil
+	}
+	br := bufio.NewReader(r)
+	first, err := firstNonSpace(br)
+	if err != nil {
+		return nil, errors.New("empty body")
+	}
+	dec := json.NewDecoder(br)
+	var obs []wireObservation
+	if first == '[' {
+		if err := dec.Decode(&obs); err != nil {
+			return nil, fmt.Errorf("decoding observation array: %w", err)
+		}
+	} else {
+		var req ingestRequest
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding ingest request: %w", err)
+		}
+		obs = req.Observations
+	}
+	for i := range obs {
+		if err := obs[i].check(); err != nil {
+			return nil, fmt.Errorf("observation %d: %w", i, err)
+		}
+	}
+	return obs, nil
 }
 
 func firstNonSpace(br *bufio.Reader) (byte, error) {

@@ -41,7 +41,11 @@ type FlusherConfig struct {
 
 // FlusherStats is a point-in-time snapshot of a Flusher's counters.
 type FlusherStats struct {
-	// Handles is the number of live ingest handles.
+	// Handles is the number of live ingest handles: every handle between
+	// Handle and Close, whether registered for trigger flushes or handed
+	// out unregistered by a closed flusher (overflow handles created during
+	// drains). Counting only the registry would let those buffer
+	// observations invisibly.
 	Handles int `json:"handles"`
 	// Pending counts buffered observations not yet flushed into the store.
 	Pending int64 `json:"pending"`
@@ -88,7 +92,12 @@ type Flusher struct {
 	// observation), so the read barrier's fast path — one load of a counter
 	// that is almost never written — stays contention-free even under
 	// full-rate multi-core ingest.
-	dirty      atomic.Int64
+	dirty atomic.Int64
+	// live counts every handle between Handle and Close — including the
+	// unregistered overflow handles a closed flusher hands out, which the
+	// handles map cannot see. Stats reports it so /v1/stats accounts every
+	// handle that can still buffer observations.
+	live       atomic.Int64
 	flushes    atomic.Uint64
 	flushedObs atomic.Uint64
 	drains     atomic.Uint64
@@ -152,6 +161,7 @@ func (f *Flusher) run() {
 // obtain handles after Close must flush them explicitly.
 func (f *Flusher) Handle() *Local {
 	h := &Local{f: f}
+	f.live.Add(1)
 	f.mu.Lock()
 	if !f.closed {
 		f.handles[h] = struct{}{}
@@ -206,11 +216,8 @@ func (f *Flusher) Pending() int64 {
 
 // Stats returns a point-in-time snapshot of the flusher's counters.
 func (f *Flusher) Stats() FlusherStats {
-	f.mu.Lock()
-	n := len(f.handles)
-	f.mu.Unlock()
 	return FlusherStats{
-		Handles:       n,
+		Handles:       int(f.live.Load()),
 		Pending:       f.Pending(),
 		Flushes:       f.flushes.Load(),
 		FlushedObs:    f.flushedObs.Load(),
@@ -270,6 +277,10 @@ type Local struct {
 	batch *Batch
 
 	n int
+
+	// dead latches Close so a double Close cannot unbalance the Flusher's
+	// live-handle counter.
+	dead atomic.Bool
 }
 
 // Add buffers one observation stamped with the store clock's now.
@@ -498,9 +509,14 @@ func (h *Local) Discard() {
 	h.f.dirty.Add(-1)
 }
 
-// Close flushes the handle and unregisters it from its Flusher.
+// Close flushes the handle and unregisters it from its Flusher. Closing an
+// already closed handle is a no-op, so the live-handle counter stays
+// balanced.
 func (h *Local) Close() {
 	h.Flush()
+	if h.dead.CompareAndSwap(false, true) {
+		h.f.live.Add(-1)
+	}
 	h.f.mu.Lock()
 	delete(h.f.handles, h)
 	h.f.mu.Unlock()

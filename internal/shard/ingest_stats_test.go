@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFlusherStatsCountEveryLiveHandle pins the live-handle accounting on
+// FlusherStats.Handles: every handle between Handle and Close is counted —
+// including the unregistered overflow handles a closed flusher hands out,
+// which the registration map cannot see.
+func TestFlusherStatsCountEveryLiveHandle(t *testing.T) {
+	store := New(WithOrder(4))
+	f, err := NewFlusher(store, FlusherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Handles; got != 0 {
+		t.Fatalf("fresh flusher: Handles = %d, want 0", got)
+	}
+
+	h1 := f.Handle()
+	h2 := f.Handle()
+	if got := f.Stats().Handles; got != 2 {
+		t.Fatalf("two open handles: Handles = %d, want 2", got)
+	}
+
+	// A closed flusher hands out unregistered handles (the overflow path a
+	// drain-time Handle call takes): they still buffer into the store and
+	// must still be counted.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h3 := f.Handle()
+	h3.Add("k", 1)
+	if got := f.Stats().Handles; got != 3 {
+		t.Fatalf("after overflow handle: Handles = %d, want 3 (unregistered handle not counted)", got)
+	}
+
+	h3.Close()
+	if got := f.Stats().Handles; got != 2 {
+		t.Fatalf("after overflow close: Handles = %d, want 2", got)
+	}
+	h1.Close()
+	h2.Close()
+	if got := f.Stats().Handles; got != 0 {
+		t.Fatalf("all closed: Handles = %d, want 0", got)
+	}
+
+	// Double Close must not unbalance the counter.
+	h1.Close()
+	if got := f.Stats().Handles; got != 0 {
+		t.Fatalf("double close: Handles = %d, want 0", got)
+	}
+	if got := store.Count("k"); got != 1 {
+		t.Fatalf("overflow handle's observation lost: Count = %v, want 1", got)
+	}
+}
+
+// TestFlusherHandleCounterBalancedConcurrently churns handles from many
+// goroutines — with the flusher closing midway, so both the registered and
+// the unregistered Handle paths run — and requires the live count to come
+// back to exactly the handles still open.
+func TestFlusherHandleCounterBalancedConcurrently(t *testing.T) {
+	store := New(WithOrder(4))
+	f, err := NewFlusher(store, FlusherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const rounds = 200
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				h := f.Handle()
+				h.Add("k", float64(i%7))
+				h.Close()
+				h.Close() // double close is a no-op
+			}
+		}()
+	}
+	// Close the flusher while handle churn is in flight: handles created
+	// after this point are unregistered, and all must balance regardless.
+	f.Close()
+	wg.Wait()
+
+	if got := f.Stats().Handles; got != 0 {
+		t.Fatalf("after churn: Handles = %d, want 0", got)
+	}
+	if got := store.Count("k"); got != goroutines*rounds {
+		t.Fatalf("observations lost in churn: Count = %v, want %d", got, goroutines*rounds)
+	}
+}
