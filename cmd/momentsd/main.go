@@ -10,7 +10,8 @@
 //	         [-workers N] [-solve-cache N] [-pane-width DUR] [-panes N]
 //	         [-ingest-buffer] [-ingest-flush-size N] [-ingest-flush-interval DUR]
 //	         [-ingest-stale] [-snapshot FILE] [-snapshot-interval DUR]
-//	         [-pprof-addr ADDR]
+//	         [-wal-dir DIR] [-wal-sync-interval DUR] [-wal-segment-size N]
+//	         [-wal-on-error fail|drop] [-pprof-addr ADDR]
 //	momentsd -coordinator -nodes host1:7607,host2:7607[,...]
 //	         [-addr :7607] [-backend moments] [-k 10] [-node-timeout DUR]
 //	         [-hedge-after DUR] [-hedge-quantile Q] [-pprof-addr ADDR]
@@ -79,6 +80,21 @@
 // write the versioned pane-carrying snapshot format; the pane
 // configuration must match when restoring.
 //
+// -wal-dir adds crash durability between snapshots: every ingest batch is
+// appended to a per-stripe write-ahead log and group-commit fsynced before
+// the request is acknowledged, so a SIGKILL or power loss never loses an
+// acknowledged observation. At startup the log is replayed on top of the
+// restored snapshot (tolerating a torn tail from the crash itself), and
+// each successful snapshot doubles as a checkpoint that truncates the
+// covered segments. -wal-sync-interval bounds how long a commit can wait
+// for the fsync ticker (the syncer also fsyncs eagerly whenever writers
+// block), -wal-segment-size bounds segment files before rotation, and
+// -wal-on-error picks the degraded mode after a log write failure: "fail"
+// turns every ingest into a typed 503 until restart, "drop" keeps
+// acknowledging without durability and counts what it dropped. Log health
+// appears under "wal" on /v1/stats. Requires -snapshot. See
+// ARCHITECTURE.md "Durability & crash recovery".
+//
 // The primary query surface is the batched typed endpoint POST /v1/query
 // (see internal/query): one request carries any number of subqueries —
 // exact keys, prefix rollups, group-bys — each with its own aggregation
@@ -107,11 +123,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -123,6 +141,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/sketch"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -142,6 +161,10 @@ func main() {
 		ingestStale  = flag.Bool("ingest-stale", false, "bounded-staleness reads: queries skip draining pending ingest buffers (requires -ingest-buffer and -ingest-flush-interval > 0; snapshots still drain)")
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
+		walDir       = flag.String("wal-dir", "", "write-ahead log directory: every acknowledged observation is fsynced here before the ack and replayed after a crash (requires -snapshot)")
+		walSync      = flag.Duration("wal-sync-interval", wal.DefaultSyncInterval, "backstop period of the log's group-commit fsync ticker; the syncer fsyncs eagerly whenever writers wait (with -wal-dir)")
+		walSegSize   = flag.Int64("wal-segment-size", wal.DefaultSegmentSize, "bytes per log segment before rotating to a new one (with -wal-dir)")
+		walOnError   = flag.String("wal-on-error", "fail", "degraded mode after a log write/fsync failure: fail = 503 every ingest, drop = acknowledge without durability (with -wal-dir)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
 		coordinator   = flag.Bool("coordinator", false, "scatter-gather mode: route to the -nodes shard list instead of serving a local store")
@@ -173,8 +196,8 @@ func main() {
 		if *nodesSpec == "" {
 			log.Fatalf("momentsd: -coordinator requires -nodes")
 		}
-		if *snapshotPath != "" || *ingestBuffer || *paneWidth != 0 {
-			log.Fatalf("momentsd: -snapshot, -ingest-buffer and -pane-width configure a local store; a coordinator has none")
+		if *snapshotPath != "" || *ingestBuffer || *paneWidth != 0 || *walDir != "" {
+			log.Fatalf("momentsd: -snapshot, -ingest-buffer, -pane-width and -wal-dir configure a local store; a coordinator has none")
 		}
 		if *hedgeQuantile <= 0 || *hedgeQuantile >= 1 {
 			log.Fatalf("momentsd: -hedge-quantile %g outside (0,1)", *hedgeQuantile)
@@ -227,11 +250,83 @@ func main() {
 			log.Fatalf("momentsd: -ingest-stale requires -ingest-flush-interval > 0")
 		}
 	}
+	walPolicy := wal.PolicyFail
+	if *walDir == "" {
+		if *walSync != wal.DefaultSyncInterval || *walSegSize != wal.DefaultSegmentSize || *walOnError != "fail" {
+			log.Fatalf("momentsd: -wal-sync-interval, -wal-segment-size and -wal-on-error require -wal-dir")
+		}
+	} else {
+		if *snapshotPath == "" {
+			// The log is truncated against snapshots; without one it would
+			// grow forever and replay from the beginning of time.
+			log.Fatalf("momentsd: -wal-dir requires -snapshot")
+		}
+		if *walSync <= 0 {
+			log.Fatalf("momentsd: -wal-sync-interval must be positive")
+		}
+		if *walSegSize <= 0 {
+			log.Fatalf("momentsd: -wal-segment-size must be positive")
+		}
+		var err error
+		if walPolicy, err = wal.ParsePolicy(*walOnError); err != nil {
+			log.Fatalf("momentsd: -wal-on-error: %v", err)
+		}
+	}
+
 	store := shard.New(opts...)
+	var cuts []uint64
 	if *snapshotPath != "" {
-		if err := loadSnapshot(store, *snapshotPath); err != nil {
+		var err error
+		if cuts, err = loadSnapshot(store, *snapshotPath); err != nil {
 			log.Fatalf("momentsd: restoring snapshot: %v", err)
 		}
+	}
+
+	// Replay the write-ahead log before serving: every record past the
+	// snapshot's watermark re-applies through a batch (whole records only
+	// — replay never half-applies), then the log is opened for fresh
+	// segments and attached as the store's journal.
+	var walLog *wal.Log
+	if *walDir != "" {
+		// At GOMAXPROCS=1 an fsync syscall holds the runtime's only P until
+		// sysmon retakes it, so ingest compute and the group-commit fsync
+		// strictly alternate instead of overlapping. A second P costs
+		// nothing when idle and lets the CPU encode the next pile while the
+		// device commits the last one. Respect an explicit operator choice.
+		if os.Getenv("GOMAXPROCS") == "" && runtime.GOMAXPROCS(0) == 1 {
+			runtime.GOMAXPROCS(2)
+			log.Printf("momentsd: raised GOMAXPROCS to 2 so ingest overlaps write-ahead log fsyncs")
+		}
+		fp := store.Backend().Fingerprint()
+		replayBatch := store.NewBatch()
+		rs, err := wal.Replay(*walDir, fp, cuts, func(obs []shard.Observation) error {
+			for _, o := range obs {
+				replayBatch.AddAt(o.Key, o.Value, o.At)
+			}
+			replayBatch.Flush()
+			return nil
+		}, log.Printf)
+		if err != nil {
+			log.Fatalf("momentsd: replaying write-ahead log: %v", err)
+		}
+		if rs.Records > 0 || rs.TornSegments > 0 {
+			log.Printf("momentsd: replayed %d observations (%d records, %d segments, %d torn) from %s",
+				rs.Observations, rs.Records, rs.Segments, rs.TornSegments, *walDir)
+		}
+		walLog, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			SyncInterval: *walSync,
+			SegmentSize:  *walSegSize,
+			Policy:       walPolicy,
+			Fingerprint:  fp,
+			SeqFloor:     cuts,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("momentsd: opening write-ahead log: %v", err)
+		}
+		walLog.NoteReplay(rs)
+		store.SetJournal(walLog)
 	}
 
 	serverOpts := []server.ServerOption{
@@ -246,9 +341,30 @@ func main() {
 			Stale:         *ingestStale,
 		}))
 	}
+
+	// snapMu serializes snapshot saves so an in-flight periodic save cannot
+	// finish after — and thereby clobber — the final shutdown snapshot.
+	// With a write-ahead log attached, every save is a checkpoint: appends
+	// pause while the log seals its segments and the snapshot (stamped with
+	// the log's cut watermark) is written, then the covered segments are
+	// deleted.
+	var snapMu sync.Mutex
+	save := func() error {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		if walLog != nil {
+			return walLog.Checkpoint(func(cuts []uint64) error {
+				return saveSnapshot(store, *snapshotPath, cuts)
+			})
+		}
+		return saveSnapshot(store, *snapshotPath, nil)
+	}
+	if walLog != nil {
+		serverOpts = append(serverOpts, server.WithWAL(walLog, save))
+	}
+
 	handler := server.New(store, serverOpts...)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -257,15 +373,6 @@ func main() {
 	defer stop()
 
 	startPprof(*pprofAddr)
-
-	// snapMu serializes snapshot saves so an in-flight periodic save cannot
-	// finish after — and thereby clobber — the final shutdown snapshot.
-	var snapMu sync.Mutex
-	save := func() error {
-		snapMu.Lock()
-		defer snapMu.Unlock()
-		return saveSnapshot(store, *snapshotPath)
-	}
 	if *snapshotPath != "" && *snapInterval > 0 {
 		go func() {
 			t := time.NewTicker(*snapInterval)
@@ -283,15 +390,26 @@ func main() {
 		}()
 	}
 
+	// Listen before announcing so the logged address is the bound one —
+	// with -addr :0 (tests, the crash harness) the kernel-assigned port is
+	// what callers need to see.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("momentsd: %v", err)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		windowed := ""
 		if w, n, ok := store.WindowConfig(); ok {
 			windowed = fmt.Sprintf(", %d×%s panes", n, w)
 		}
-		log.Printf("momentsd: listening on %s (backend %s, %d shards%s)",
-			*addr, store.Backend().Fingerprint(), store.NumShards(), windowed)
-		errc <- srv.ListenAndServe()
+		durable := ""
+		if walLog != nil {
+			durable = fmt.Sprintf(", wal %s", *walDir)
+		}
+		log.Printf("momentsd: listening on %s (backend %s, %d shards%s%s)",
+			ln.Addr(), store.Backend().Fingerprint(), store.NumShards(), windowed, durable)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
@@ -316,6 +434,11 @@ func main() {
 			log.Fatalf("momentsd: final snapshot: %v", err)
 		}
 		log.Printf("momentsd: snapshot saved to %s", *snapshotPath)
+	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			log.Printf("momentsd: closing write-ahead log: %v", err)
+		}
 	}
 }
 
@@ -392,27 +515,41 @@ func startPprof(addr string) {
 }
 
 // loadSnapshot restores the store from path; a missing file is not an
-// error (first boot).
-func loadSnapshot(store *shard.Store, path string) error {
+// error (first boot). It returns the WAL watermark embedded in the
+// snapshot footer, if any: the per-stripe segment sequence numbers whose
+// observations the snapshot already covers. A snapshot without a
+// watermark (pre-WAL format, or WAL disabled when it was written)
+// returns nil cuts, which makes replay conservatively re-apply every
+// segment — merges are idempotent only at the segment granularity the
+// watermark provides, so nil is the safe direction.
+func loadSnapshot(store *shard.Store, path string) ([]uint64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return nil, nil
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	if err := store.Restore(f); err != nil {
-		return err
+		return nil, err
+	}
+	cuts, err := wal.ReadWatermark(path)
+	if err != nil {
+		return nil, err
 	}
 	log.Printf("momentsd: restored %d keys (%.0f observations) from %s",
 		store.Len(), store.TotalCount(), path)
-	return nil
+	return cuts, nil
 }
 
 // saveSnapshot writes atomically: temp file in the same directory, fsync,
-// rename.
-func saveSnapshot(store *shard.Store, path string) error {
+// rename, directory fsync. The final fsync makes the rename itself
+// durable — without it a crash can roll the directory entry back to the
+// old snapshot even though the new bytes hit disk. When cuts is non-nil
+// the WAL watermark footer is appended after the store payload so the
+// next boot knows which segments the snapshot already covers.
+func saveSnapshot(store *shard.Store, path string, cuts []uint64) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".momentsd-snapshot-*")
 	if err != nil {
@@ -424,6 +561,12 @@ func saveSnapshot(store *shard.Store, path string) error {
 		f.Close()
 		return err
 	}
+	if cuts != nil {
+		if err := wal.AppendWatermark(f, cuts); err != nil {
+			f.Close()
+			return err
+		}
+	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
@@ -434,5 +577,5 @@ func saveSnapshot(store *shard.Store, path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("renaming snapshot into place: %w", err)
 	}
-	return nil
+	return wal.SyncDir(dir)
 }

@@ -36,6 +36,8 @@ const (
 	ModeCorrupt
 	// ModeTruncate answers with the real response cut in half.
 	ModeTruncate
+	// ModeUnavailable answers a bare 503 without touching the store.
+	ModeUnavailable
 )
 
 // fault is one node's injected behavior. times > 0 arms the fault for that
@@ -70,7 +72,7 @@ func (f *fault) set(mode Mode, stall time.Duration, payload []byte, times int) {
 }
 
 // Node is one in-process shard: a real store, a real server, a real HTTP
-// listener, and the fault injector in front of /v1/partials.
+// listener, and fault injectors in front of /v1/partials and /ingest.
 type Node struct {
 	Store  *shard.Store
 	Server *server.Server
@@ -78,6 +80,9 @@ type Node struct {
 
 	fault        fault
 	partialsHits atomic.Int64
+
+	ingestFault fault
+	ingestHits  atomic.Int64
 }
 
 // PartialsHits counts /v1/partials requests that reached this node,
@@ -104,9 +109,46 @@ func (n *Node) FaultCorrupt(payload []byte, times int) { n.fault.set(ModeCorrupt
 // real response cut in half (0 = every one until cleared).
 func (n *Node) FaultTruncate(times int) { n.fault.set(ModeTruncate, 0, nil, times) }
 
+// FaultIngestNormal clears any injected ingest fault.
+func (n *Node) FaultIngestNormal() { n.ingestFault.set(ModeNormal, 0, nil, 0) }
+
+// IngestHits counts /ingest requests that reached this node, including
+// ones a fault killed before the store saw them — the observable for
+// retry-attempt assertions.
+func (n *Node) IngestHits() int { return int(n.ingestHits.Load()) }
+
+// FaultIngestKill hard-closes the next `times` /ingest connections before
+// the store applies anything (0 = every one until cleared) — the
+// coordinator sees a transport error for a batch the node never took.
+func (n *Node) FaultIngestKill(times int) { n.ingestFault.set(ModeKill, 0, nil, times) }
+
+// FaultIngestUnavailable answers the next `times` /ingest requests with
+// a bare 503 (0 = every one until cleared), like a node whose observation
+// log is wedged or still replaying.
+func (n *Node) FaultIngestUnavailable(times int) { n.ingestFault.set(ModeUnavailable, 0, nil, times) }
+
 // middleware wraps the node's handler with the fault injector.
 func (n *Node) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ingest" {
+			n.ingestHits.Add(1)
+			mode, _, _ := n.ingestFault.take()
+			switch mode {
+			case ModeKill:
+				if hj, ok := w.(http.Hijacker); ok {
+					if conn, _, err := hj.Hijack(); err == nil {
+						conn.Close()
+						return
+					}
+				}
+				panic(http.ErrAbortHandler)
+			case ModeUnavailable:
+				http.Error(w, "injected: observation log unavailable", http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(w, r)
+			return
+		}
 		if r.URL.Path != "/v1/partials" {
 			next.ServeHTTP(w, r)
 			return

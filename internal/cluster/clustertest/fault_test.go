@@ -2,6 +2,7 @@ package clustertest
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -314,6 +315,80 @@ func TestIngestToUnreachableNodeReportsFailedNodes(t *testing.T) {
 	if got := c.Nodes[0].Store.Count(liveKey); got != 1 {
 		t.Fatalf("live observation lost: Count = %v, want 1", got)
 	}
+}
+
+// TestIngestRetriesTransientFaults pins the coordinator's delivery retry:
+// a node that drops a connection or answers 503 transiently must still
+// take its batch — applied exactly once — within the default retry
+// budget, the retry counter must advance, and a persistent fault must
+// exhaust the budget and surface as a failed node without burning the
+// caller's deadline.
+func TestIngestRetriesTransientFaults(t *testing.T) {
+	c := New(t, Config{StoreOpts: []shard.Option{shard.WithOrder(6)}})
+	const victim = 1
+	key := keyOwnedBy(t, c, victim)
+	node := c.Nodes[victim]
+	one := 1.0
+	batch := []cluster.Observation{{Key: key, Value: &one}}
+
+	// A killed connection heals on the first retry.
+	node.FaultIngestKill(1)
+	ingested, failed, err := c.Coord.Ingest(t.Context(), batch)
+	if err != nil || len(failed) != 0 || ingested != 1 {
+		t.Fatalf("ingest through one killed delivery: ingested=%d failed=%v err=%v", ingested, failed, err)
+	}
+	if got := node.Store.Count(key); got != 1 {
+		t.Fatalf("Count = %v, want 1 (applied exactly once)", got)
+	}
+	if hits := node.IngestHits(); hits != 2 {
+		t.Fatalf("node saw %d delivery attempts, want 2 (original + one retry)", hits)
+	}
+	if st := c.Coord.Stats(); st.IngestRetries != 1 {
+		t.Fatalf("Stats().IngestRetries = %d, want 1", st.IngestRetries)
+	}
+
+	// Two 503s in a row still fit the default budget of two retries.
+	node.FaultIngestUnavailable(2)
+	before := node.IngestHits()
+	ingested, failed, err = c.Coord.Ingest(t.Context(), batch)
+	if err != nil || len(failed) != 0 || ingested != 1 {
+		t.Fatalf("ingest through two 503s: ingested=%d failed=%v err=%v", ingested, failed, err)
+	}
+	if got := node.Store.Count(key); got != 2 {
+		t.Fatalf("Count = %v, want 2", got)
+	}
+	if hits := node.IngestHits() - before; hits != 3 {
+		t.Fatalf("node saw %d delivery attempts, want 3", hits)
+	}
+
+	// A persistent 503 exhausts the budget: the batch is reported failed
+	// and never half-applied.
+	node.FaultIngestUnavailable(0)
+	before = node.IngestHits()
+	start := time.Now()
+	ingested, failed, err = c.Coord.Ingest(t.Context(), batch)
+	if err == nil || ingested != 0 || !slices.Equal(failed, []string{node.HTTP.URL}) {
+		t.Fatalf("ingest against a wedged node: ingested=%d failed=%v err=%v", ingested, failed, err)
+	}
+	if hits := node.IngestHits() - before; hits != 3 {
+		t.Fatalf("node saw %d delivery attempts, want 3 (budget exhausted)", hits)
+	}
+	if got := node.Store.Count(key); got != 2 {
+		t.Fatalf("Count = %v, want 2 (failed batch must not apply)", got)
+	}
+
+	// Backoff honors the request deadline: with no room to sleep, the
+	// retry loop gives up rather than answering after the caller stopped
+	// listening.
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Coord.Ingest(ctx, batch); err == nil {
+		t.Fatal("ingest with an expiring deadline reported no error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retrying ingests took %v — backoff ignored the deadline", elapsed)
+	}
+	node.FaultIngestNormal()
 }
 
 // TestCoordinatorIngestBodyShapes pins HTTP /ingest parity between the

@@ -40,11 +40,18 @@ type Config struct {
 	// Transport issues the HTTP requests (default a plain http.Client;
 	// per-request contexts carry all timeouts).
 	Transport Doer
+	// IngestRetries is how many times a failed ingest delivery to a node
+	// is re-attempted (transport errors and 5xx answers only — a 4xx
+	// rejection will not become valid by repetition). Zero selects the
+	// default (2); negative disables retries. Re-attempts back off with
+	// capped jitter and never outlive the request deadline.
+	IngestRetries int
 }
 
 const (
 	defaultNodeTimeout   = 2 * time.Second
 	defaultHedgeQuantile = 0.9
+	defaultIngestRetries = 2
 	// minHedgeDelay floors the adaptive hedge delay so a burst of
 	// microsecond in-process latencies cannot turn hedging into a
 	// double-send of every request.
@@ -61,6 +68,7 @@ type Coordinator struct {
 	nodeTimeout   time.Duration
 	hedgeAfter    time.Duration
 	hedgeQuantile float64
+	ingestRetries int
 
 	lat latencyRing
 
@@ -69,6 +77,7 @@ type Coordinator struct {
 	hedges         atomic.Uint64
 	hedgeWins      atomic.Uint64
 	partialResults atomic.Uint64
+	retriedIngests atomic.Uint64
 	nodeRequests   []atomic.Uint64
 	nodeFailures   []atomic.Uint64
 }
@@ -102,6 +111,12 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Transport == nil {
 		cfg.Transport = defaultTransport()
 	}
+	switch {
+	case cfg.IngestRetries == 0:
+		cfg.IngestRetries = defaultIngestRetries
+	case cfg.IngestRetries < 0:
+		cfg.IngestRetries = 0
+	}
 	return &Coordinator{
 		nodes:         nodes,
 		ev:            query.NewEvaluator(cfg.Backend, cfg.Solver),
@@ -109,6 +124,7 @@ func New(cfg Config) (*Coordinator, error) {
 		nodeTimeout:   cfg.NodeTimeout,
 		hedgeAfter:    cfg.HedgeAfter,
 		hedgeQuantile: cfg.HedgeQuantile,
+		ingestRetries: cfg.IngestRetries,
 		nodeRequests:  make([]atomic.Uint64, len(nodes)),
 		nodeFailures:  make([]atomic.Uint64, len(nodes)),
 	}, nil
@@ -408,6 +424,9 @@ type Stats struct {
 	HedgeWins uint64 `json:"hedge_wins"`
 	// PartialResults counts answers served with the partial_result envelope.
 	PartialResults uint64 `json:"partial_results"`
+	// IngestRetries counts ingest deliveries re-attempted after a
+	// transport error or 5xx answer.
+	IngestRetries uint64 `json:"ingest_retries"`
 }
 
 // Stats snapshots the coordinator's counters.
@@ -418,6 +437,7 @@ func (c *Coordinator) Stats() Stats {
 		Hedges:         c.hedges.Load(),
 		HedgeWins:      c.hedgeWins.Load(),
 		PartialResults: c.partialResults.Load(),
+		IngestRetries:  c.retriedIngests.Load(),
 		Nodes:          make([]NodeStats, len(c.nodes)),
 	}
 	for i, n := range c.nodes {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"sync"
@@ -26,7 +27,11 @@ type Observation struct {
 // (their observations are dropped, never re-routed — re-routing would put
 // keys on non-owner nodes and split their sketches). Ingest never hedges:
 // a duplicated delivery would double-count, which no deduplication
-// downstream could undo.
+// downstream could undo. It does retry failed deliveries (transport
+// errors and 5xx, with capped jittered backoff inside the request
+// deadline): unlike a hedge, a retry duplicates only in the narrow case
+// where the node committed the batch but its answer was lost, trading
+// that rare double-count for riding out node restarts and fsync stalls.
 func (c *Coordinator) Ingest(ctx context.Context, obs []Observation) (int, []string, error) {
 	batches := make([][]Observation, len(c.nodes))
 	for _, o := range obs {
@@ -48,7 +53,7 @@ func (c *Coordinator) Ingest(ctx context.Context, obs []Observation) (int, []str
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			count, err := c.postIngest(ctx, n, batches[n])
+			count, err := c.ingestNode(ctx, n, batches[n])
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -66,17 +71,58 @@ func (c *Coordinator) Ingest(ctx context.Context, obs []Observation) (int, []str
 	return ingested, failed, firstErr
 }
 
+// Ingest retry backoff: starts small (a node riding out one group-commit
+// stall answers on the first retry), doubles per attempt, and caps so a
+// deep retry budget cannot turn into multi-second sleeps.
+const (
+	ingestBackoffBase = 5 * time.Millisecond
+	ingestBackoffCap  = 100 * time.Millisecond
+)
+
+// ingestNode delivers one node's batch, retrying transient failures with
+// capped jittered backoff. It gives up on non-retryable failures (4xx,
+// undecodable replies), on an exhausted retry budget, and before any
+// sleep that the request deadline could not absorb along with one more
+// node timeout's worth of attempt.
+func (c *Coordinator) ingestNode(ctx context.Context, n int, batch []Observation) (int, error) {
+	backoff := ingestBackoffBase
+	for attempt := 0; ; attempt++ {
+		count, retryable, err := c.postIngest(ctx, n, batch)
+		if err == nil || !retryable || attempt >= c.ingestRetries || ctx.Err() != nil {
+			return count, err
+		}
+		// Full jitter in [backoff/2, backoff]: concurrent per-node
+		// goroutines must not re-dogpile a node that just failed them all.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < sleep+ingestBackoffBase {
+			return count, err
+		}
+		select {
+		case <-ctx.Done():
+			return count, err
+		case <-time.After(sleep):
+		}
+		c.retriedIngests.Add(1)
+		if backoff < ingestBackoffCap {
+			backoff *= 2
+		}
+	}
+}
+
 // postIngest delivers one node's batch over the standard /ingest endpoint.
-func (c *Coordinator) postIngest(ctx context.Context, n int, batch []Observation) (int, error) {
+// retryable reports whether the failure class could plausibly clear on a
+// re-attempt: transport errors, short reads and 5xx answers qualify; a
+// 4xx rejection or an undecodable 200 will only repeat.
+func (c *Coordinator) postIngest(ctx context.Context, n int, batch []Observation) (count int, retryable bool, err error) {
 	body, err := json.Marshal(batch)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	actx, cancel := context.WithTimeout(ctx, c.nodeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.nodes[n]+"/ingest", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.nodeRequests[n].Add(1)
@@ -84,13 +130,13 @@ func (c *Coordinator) postIngest(ctx context.Context, n int, batch []Observation
 	resp, err := c.transport.Do(req)
 	if err != nil {
 		c.nodeFailures[n].Add(1)
-		return 0, err
+		return 0, true, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		c.nodeFailures[n].Add(1)
-		return 0, err
+		return 0, true, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		c.nodeFailures[n].Add(1)
@@ -98,7 +144,7 @@ func (c *Coordinator) postIngest(ctx context.Context, n int, batch []Observation
 		if len(msg) > 256 {
 			msg = msg[:256]
 		}
-		return 0, fmt.Errorf("node %s: HTTP %d: %s", c.nodes[n], resp.StatusCode, msg)
+		return 0, resp.StatusCode >= 500, fmt.Errorf("node %s: HTTP %d: %s", c.nodes[n], resp.StatusCode, msg)
 	}
 	c.lat.record(time.Since(start))
 	var reply struct {
@@ -106,7 +152,7 @@ func (c *Coordinator) postIngest(ctx context.Context, n int, batch []Observation
 	}
 	if err := json.Unmarshal(data, &reply); err != nil {
 		c.nodeFailures[n].Add(1)
-		return 0, fmt.Errorf("node %s: %w", c.nodes[n], err)
+		return 0, false, fmt.Errorf("node %s: %w", c.nodes[n], err)
 	}
-	return reply.Ingested, nil
+	return reply.Ingested, true, nil
 }

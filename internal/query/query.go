@@ -41,6 +41,11 @@ const (
 	// answer: an aggregation needing moment structure on a non-moments
 	// backend, a moments-only endpoint, or a cross-backend merge.
 	CodeBackendUnsupported = "backend_unsupported"
+	// CodeUnavailable marks a request the node cannot currently serve
+	// safely: the write-ahead log is wedged by a disk failure under the
+	// fail policy, so acknowledging the write would break its durability
+	// contract. Retry against a recovered node.
+	CodeUnavailable = "unavailable"
 	// CodePartialResult marks a scatter-gather answer computed without every
 	// shard node: the coordinator's deadline or a node failure dropped some
 	// partials, the reachable nodes' data was merged anyway, and Error.Nodes
@@ -78,6 +83,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusRequestEntityTooLarge
 	case CodeBackendUnsupported:
 		return http.StatusBadRequest
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
 	case CodePartialResult:
 		// Partial results travel alongside merged data from the reachable
 		// shards — some targets answered, some did not.

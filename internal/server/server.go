@@ -19,6 +19,7 @@ import (
 	"repro/internal/maxent"
 	"repro/internal/query"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // DefaultMaxBodyBytes caps ingest and /v1/query request bodies (32 MiB).
@@ -57,6 +58,13 @@ type Server struct {
 	flusher          *shard.Flusher
 	handles          chan *shard.Local
 	flushEachRequest bool
+
+	// Write-ahead log (see WithWAL): walLog is nil when durability is
+	// off. afterRestore runs after a successful /restore so the caller
+	// can checkpoint — without it, stale log records would replay over
+	// the restored contents on the next boot.
+	walLog       *wal.Log
+	afterRestore func() error
 }
 
 // ServerOption configures a Server at construction.
@@ -109,6 +117,21 @@ func WithSolveCache(n int) ServerOption {
 // attached.
 func WithIngestBuffer(cfg shard.FlusherConfig) ServerOption {
 	return func(s *Server) { s.bufferCfg = &cfg }
+}
+
+// WithWAL surfaces an attached write-ahead log on the server: ingest
+// errors from the journal map to 503 with the typed unavailable envelope,
+// /v1/stats gains a "wal" section, and afterRestore (may be nil) runs
+// after every successful /restore — momentsd passes its checkpoint-save,
+// so a restore immediately re-snapshots and truncates the log instead of
+// leaving stale records to replay over the restored state. The caller
+// must also attach the log to the store (shard.Store.SetJournal); this
+// option only wires the HTTP surfaces.
+func WithWAL(l *wal.Log, afterRestore func() error) ServerOption {
+	return func(s *Server) {
+		s.walLog = l
+		s.afterRestore = afterRestore
+	}
 }
 
 // New wires a Server around store.
@@ -311,16 +334,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.flusher == nil {
-		writeJSON(w, http.StatusOK, map[string]any{"ingested": batch.Flush()})
+		// Commit is Flush plus write-ahead logging when the store has a
+		// journal: the batch is durable before it is applied or
+		// acknowledged.
+		n, err := batch.Commit()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, query.CodeUnavailable,
+				"observation log unavailable: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
 		return
 	}
 	// Buffered path: the fully validated batch moves into a thread-local
 	// handle (per-key O(k) accumulation outside the stripe locks). The
 	// batch is the atomicity seam — a decode error above Discards it
 	// without ever touching a handle that may hold previously acknowledged
-	// cross-request data.
+	// cross-request data. CommitBatch additionally write-ahead logs the
+	// batch before absorbing it when the store has a journal.
 	h, transient := s.getHandle()
-	n := h.AbsorbBatch(batch)
+	n, err := h.CommitBatch(batch)
+	if err != nil {
+		s.putHandle(h, transient)
+		writeError(w, http.StatusServiceUnavailable, query.CodeUnavailable,
+			"observation log unavailable: %v", err)
+		return
+	}
 	if s.flushEachRequest {
 		h.Flush()
 	}
@@ -525,6 +564,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"flush_each_request":     s.flushEachRequest,
 		}
 	}
+	walSection := any(map[string]any{"enabled": false})
+	if s.walLog != nil {
+		walSection = struct {
+			Enabled bool `json:"enabled"`
+			wal.Stats
+		}{true, s.walLog.Stats()}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"keys":           s.store.Len(),
 		"observations":   s.store.TotalCount(),
@@ -539,6 +585,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"solve_cache":   s.engine.CacheStats(),
 		"ingest_buffer": ingestBuffer,
+		"wal":           walSection,
 	})
 }
 
@@ -565,6 +612,15 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if err := s.store.Restore(body); err != nil {
 		writeError(w, http.StatusBadRequest, query.CodeInvalid, "%v", err)
 		return
+	}
+	if s.afterRestore != nil {
+		// Checkpoint the write-ahead log against the restored contents;
+		// stale pre-restore records must not replay over them next boot.
+		if err := s.afterRestore(); err != nil {
+			writeError(w, http.StatusInternalServerError, query.CodeInternal,
+				"store restored, but checkpointing the observation log failed (restored data is not yet crash-durable): %v", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"keys":         s.store.Len(),

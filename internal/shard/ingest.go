@@ -387,6 +387,30 @@ func (h *Local) AbsorbBatch(b *Batch) int {
 	return n
 }
 
+// CommitBatch is AbsorbBatch through the store's journal: the batch is
+// logged and made durable first, then absorbed into the handle's local
+// buffers, then the journal's checkpoint guard is released. Absorption —
+// not the eventual flush — is the apply point the guard brackets, because
+// a snapshot drains every handle (snapshotBarrier), so once absorbed the
+// batch is contained in any checkpoint snapshot that could truncate its
+// log record. A journal failure (wedged under the fail policy) leaves
+// both the handle and the batch untouched. Without a journal CommitBatch
+// is exactly AbsorbBatch.
+func (h *Local) CommitBatch(b *Batch) (int, error) {
+	j := h.f.store.journal
+	if j == nil || b.n == 0 {
+		return h.AbsorbBatch(b), nil
+	}
+	b.stampTimes()
+	release, err := j.Append(b.flatten())
+	b.clearFlat()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return h.AbsorbBatch(b), nil
+}
+
 // Len returns the number of buffered observations in the handle.
 func (h *Local) Len() int {
 	h.mu.Lock()

@@ -89,6 +89,24 @@ type Store struct {
 	// readBarrier so queries observe every buffered observation, unless the
 	// flusher was configured for bounded-staleness reads.
 	flusher atomic.Pointer[Flusher]
+
+	// journal is the attached write-ahead log, nil when the store has
+	// none (see SetJournal). Commit paths log through it before applying;
+	// plain Add/AddAt and flusher-internal merges never do.
+	journal Journal
+}
+
+// Journal is the durability seam between ingest and a write-ahead log
+// (internal/wal implements it). Append logs one batch and blocks until it
+// is durable per the journal's policy, returning a release func the
+// caller MUST invoke — typically deferred — after applying the batch to
+// the store (or to a flusher handle, whose buffered contents every
+// snapshot drains). The journal may hold a checkpoint guard from Append
+// to release, so a snapshot can never fall between a logged record and
+// its application and the snapshot ∪ retained-log always covers exactly
+// the acknowledged observations.
+type Journal interface {
+	Append(obs []Observation) (release func(), err error)
 }
 
 // Option configures a Store at construction.
@@ -209,6 +227,16 @@ func (s *Store) Backend() sketch.Backend { return s.backend }
 // NumShards returns the number of lock stripes.
 func (s *Store) NumShards() int { return len(s.stripes) }
 
+// SetJournal attaches a write-ahead journal to the store. It must be
+// called once, before the store serves any traffic — the field is read
+// without synchronization on every Commit. Only the Commit entry points
+// (Batch.Commit, Local.CommitBatch) log through the journal; direct
+// Add/AddAt writes and Delete/Reset/Restore mutations do not, so a
+// journaling deployment must ingest through Commit (momentsd does) and
+// should re-snapshot after a restore or reset (momentsd checkpoints on
+// /restore).
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
 // readBarrier drains any buffered ingest attached to the store so the
 // caller reads a state that includes every observation flushed — the
 // read-your-writes seam between Flusher handles and query paths. It is a
@@ -314,6 +342,7 @@ type Batch struct {
 	buckets [][]Observation
 	touched []int
 	n       int
+	flat    []Observation // Commit's journal-encode scratch, reused
 }
 
 // NewBatch returns an empty reusable batch bound to the store.
@@ -371,6 +400,60 @@ func (b *Batch) Flush() int {
 	b.touched = b.touched[:0]
 	b.n = 0
 	return applied
+}
+
+// Commit applies the batch write-ahead: when the store has a journal the
+// buffered observations are logged and made durable first, then applied,
+// then the journal's checkpoint guard is released — so an acknowledged
+// batch is always recoverable and a failed one (journal wedged under its
+// fail policy) is never partially applied; the caller may retry or
+// Discard it. Without a journal Commit is exactly Flush. Zero timestamps
+// are resolved against the store clock before logging, so the log record
+// and the store agree on every observation's instant.
+func (b *Batch) Commit() (int, error) {
+	j := b.store.journal
+	if j == nil || b.n == 0 {
+		return b.Flush(), nil
+	}
+	b.stampTimes()
+	release, err := j.Append(b.flatten())
+	b.clearFlat()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return b.Flush(), nil
+}
+
+// stampTimes resolves zero observation timestamps to the store clock's
+// now, in place. Flush's own stamping then has nothing left to do, so a
+// journaled record and the store apply carry identical instants.
+func (b *Batch) stampTimes() {
+	now := b.store.now()
+	for _, i := range b.touched {
+		bucket := b.buckets[i]
+		for j := range bucket {
+			if bucket[j].At.IsZero() {
+				bucket[j].At = now
+			}
+		}
+	}
+}
+
+// flatten copies the buffered observations into the reusable flat
+// scratch for the journal's encoder.
+func (b *Batch) flatten() []Observation {
+	b.flat = b.flat[:0]
+	for _, i := range b.touched {
+		b.flat = append(b.flat, b.buckets[i]...)
+	}
+	return b.flat
+}
+
+// clearFlat releases the key strings the flatten scratch retains.
+func (b *Batch) clearFlat() {
+	clear(b.flat)
+	b.flat = b.flat[:0]
 }
 
 // Discard drops the buffered observations without applying them — e.g.

@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/shard"
+)
+
+// ReplayStats summarizes a startup replay.
+type ReplayStats struct {
+	// Segments counts segment files visited (skipped ones excluded).
+	Segments int `json:"segments"`
+	// SkippedSegments counts segments at or below the snapshot watermark,
+	// whose records the loaded snapshot already contains.
+	SkippedSegments int `json:"skipped_segments"`
+	// Records and Observations count what replay applied.
+	Records      uint64 `json:"records"`
+	Observations uint64 `json:"observations"`
+	// TornSegments counts segments cut short at a bad checksum, short
+	// record or unreadable header — the expected shape of a crash's torn
+	// tail. Replay logs each tear's offset and keeps going.
+	TornSegments int `json:"torn_segments"`
+	// Bytes counts segment bytes successfully decoded and applied.
+	Bytes int64 `json:"bytes"`
+}
+
+// Replay applies every record in dir's segments through apply, in
+// per-stripe sequence order. Segments whose stripe is covered by cuts
+// (seq ≤ cuts[stripe], from the snapshot watermark) are skipped: the
+// loaded snapshot already contains them. A torn tail — a short or
+// checksum-failing record, or an unreadable header — stops that segment
+// (logged with its offset, counted in TornSegments) and replay continues;
+// only a backend fingerprint mismatch (ErrMismatch) or an apply error is
+// fatal, because serving would be wrong, not just behind. A missing
+// directory replays nothing.
+//
+// apply receives each record's observations as one batch and must apply
+// them atomically (all or nothing) so a failed replay cannot half-apply.
+func Replay(dir, fingerprint string, cuts []uint64, apply func(obs []shard.Observation) error, logf func(format string, args ...any)) (*ReplayStats, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rs := &ReplayStats{}
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return rs, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading directory: %w", err)
+	}
+	type seg struct {
+		name   string
+		stripe int
+		seq    uint64
+	}
+	var segs []seg
+	for _, e := range entries {
+		stripe, seq, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		if stripe < len(cuts) && seq <= cuts[stripe] {
+			rs.SkippedSegments++
+			continue
+		}
+		segs = append(segs, seg{e.Name(), stripe, seq})
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].stripe != segs[j].stripe {
+			return segs[i].stripe < segs[j].stripe
+		}
+		return segs[i].seq < segs[j].seq
+	})
+	var scratch []shard.Observation
+	for _, sg := range segs {
+		path := filepath.Join(dir, sg.name)
+		n, torn, err := replaySegment(path, sg.name, sg.stripe, sg.seq, fingerprint, &scratch, apply, logf)
+		rs.Segments++
+		rs.Bytes += n.bytes
+		rs.Records += n.records
+		rs.Observations += n.obs
+		if torn {
+			rs.TornSegments++
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// segTally is one segment's replay counters.
+type segTally struct {
+	bytes   int64
+	records uint64
+	obs     uint64
+}
+
+// replaySegment replays one segment file. torn reports a tolerated tear;
+// err is fatal (fingerprint mismatch, apply failure, I/O on a healthy
+// read path). apply must not retain the observation slice past its call.
+func replaySegment(path, name string, stripe int, seq uint64, fingerprint string, scratch *[]shard.Observation, apply func(obs []shard.Observation) error, logf func(format string, args ...any)) (segTally, bool, error) {
+	var tally segTally
+	f, err := os.Open(path)
+	if err != nil {
+		return tally, false, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	hdr, err := readHeader(br)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			// A crash can tear the header of a freshly created segment; it
+			// holds no acknowledged records, so skipping it is safe.
+			logf("wal: %s: unreadable header, skipping segment: %v", name, err)
+			return tally, true, nil
+		}
+		return tally, false, fmt.Errorf("wal: %s: %w", name, err)
+	}
+	if hdr.fingerprint != fingerprint {
+		return tally, false, fmt.Errorf("%w: segment %s logged for %q, store is %q",
+			ErrMismatch, name, hdr.fingerprint, fingerprint)
+	}
+	if hdr.stripe != stripe || hdr.seq != seq {
+		logf("wal: %s: header names stripe %d seq %d, skipping segment", name, hdr.stripe, hdr.seq)
+		return tally, true, nil
+	}
+	offset := hdr.size
+	var frame [frameSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return tally, false, nil // clean end
+			}
+			logf("wal: %s: torn record frame at offset %d, stopping segment", name, offset)
+			return tally, true, nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(frame[:4])
+		wantCRC := binary.LittleEndian.Uint32(frame[4:])
+		if payloadLen == 0 || payloadLen > maxRecordBytes {
+			logf("wal: %s: implausible record length %d at offset %d, stopping segment", name, payloadLen, offset)
+			return tally, true, nil
+		}
+		if uint32(cap(payload)) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			logf("wal: %s: torn record payload at offset %d, stopping segment", name, offset)
+			return tally, true, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			logf("wal: %s: record checksum mismatch at offset %d, stopping segment", name, offset)
+			return tally, true, nil
+		}
+		obs, err := decodePayload(payload, (*scratch)[:0])
+		*scratch = obs[:0]
+		if err != nil {
+			// Checksum-valid but undecodable: not a torn write — still,
+			// nothing after it can be trusted more than it, so stop the
+			// segment the same way.
+			logf("wal: %s: undecodable record at offset %d, stopping segment: %v", name, offset, err)
+			return tally, true, nil
+		}
+		if err := apply(obs); err != nil {
+			return tally, false, fmt.Errorf("wal: %s: applying record at offset %d: %w", name, offset, err)
+		}
+		offset += frameSize + int64(payloadLen)
+		tally.bytes += frameSize + int64(payloadLen)
+		tally.records++
+		tally.obs += uint64(len(obs))
+	}
+}
