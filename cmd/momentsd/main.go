@@ -159,6 +159,7 @@ func main() {
 		ingestSize   = flag.Int("ingest-flush-size", shard.DefaultFlushSize, "buffered observations per ingest handle that trigger an automatic flush (with -ingest-buffer)")
 		ingestEvery  = flag.Duration("ingest-flush-interval", 0, "flush ingest buffers this often, letting observations buffer across requests; 0 = flush before acknowledging each request (with -ingest-buffer)")
 		ingestStale  = flag.Bool("ingest-stale", false, "bounded-staleness reads: queries skip draining pending ingest buffers (requires -ingest-buffer and -ingest-flush-interval > 0; snapshots still drain)")
+		lockedReads  = flag.Bool("locked-reads", false, "serve reads under the stripe locks instead of from published wait-free snapshots (escape hatch; also the baseline for read-contention measurements)")
 		snapshotPath = flag.String("snapshot", "", "snapshot file: restored at startup, saved on shutdown")
 		snapInterval = flag.Duration("snapshot-interval", 0, "additionally save the snapshot this often (0 = only on shutdown)")
 		walDir       = flag.String("wal-dir", "", "write-ahead log directory: every acknowledged observation is fsynced here before the ack and replayed after a crash (requires -snapshot)")
@@ -196,8 +197,8 @@ func main() {
 		if *nodesSpec == "" {
 			log.Fatalf("momentsd: -coordinator requires -nodes")
 		}
-		if *snapshotPath != "" || *ingestBuffer || *paneWidth != 0 || *walDir != "" {
-			log.Fatalf("momentsd: -snapshot, -ingest-buffer, -pane-width and -wal-dir configure a local store; a coordinator has none")
+		if *snapshotPath != "" || *ingestBuffer || *paneWidth != 0 || *walDir != "" || *lockedReads {
+			log.Fatalf("momentsd: -snapshot, -ingest-buffer, -pane-width, -wal-dir and -locked-reads configure a local store; a coordinator has none")
 		}
 		if *hedgeQuantile <= 0 || *hedgeQuantile >= 1 {
 			log.Fatalf("momentsd: -hedge-quantile %g outside (0,1)", *hedgeQuantile)
@@ -223,6 +224,9 @@ func main() {
 	opts := []shard.Option{shard.WithOrder(*order), shard.WithShards(*shards)}
 	if !backend.IsZero() {
 		opts = append(opts, shard.WithBackend(backend))
+	}
+	if *lockedReads {
+		opts = append(opts, shard.WithLockedReads())
 	}
 	if *paneWidth < 0 {
 		log.Fatalf("momentsd: -pane-width must be positive")

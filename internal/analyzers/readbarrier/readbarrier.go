@@ -1,7 +1,8 @@
 // Package readbarrier defines an analyzer enforcing the store's
 // read-your-writes discipline: any type that has a readBarrier or
-// snapshotBarrier method must call one of them in every exported method
-// before directly touching shared state.
+// snapshotBarrier method must, in every exported method, either call one of
+// them or enter through the published-snapshot accessors before directly
+// touching shared state.
 //
 // The barrier drains thread-local ingest buffers (PR 6) so that reads
 // observe prior writes; an exported read path that reaches into the entry
@@ -9,6 +10,17 @@
 // state is the field set of the package's mutex-guarded structs, as modeled
 // by package guards, including atomics and immutable configuration (a
 // barrier-free fast path on any of them leaks pre-drain snapshots).
+//
+// Since PR 10 the store also serves wait-free reads from immutable
+// published snapshots (see internal/shard/published.go). An exported read
+// that goes through a publication accessor — publishedIndex or
+// lookupPublished — is equally sanctioned: every published value was
+// committed under the stripe locks, so the accessor yields a consistent
+// store state by construction (the barrier is still what buys
+// read-your-writes; Stale-mode readers deliberately skip it). What stays
+// forbidden is reaching around both — touching entry maps, buffers, or
+// version counters directly with neither a barrier nor an accessor call
+// first.
 //
 // Only direct field accesses trigger the check: an exported method that
 // delegates to another (already barriered) method is clean. Deliberate
@@ -36,6 +48,15 @@ var Analyzer = &framework.Analyzer{
 var barrierNames = map[string]bool{
 	"readBarrier":     true,
 	"snapshotBarrier": true,
+}
+
+// accessorNames are the published-snapshot accessors: calling one is the
+// sanctioned wait-free entry into shared state (every published value was
+// committed under the stripe locks), so state reads sequenced after an
+// accessor call are as disciplined as ones behind a barrier.
+var accessorNames = map[string]bool{
+	"publishedIndex":  true,
+	"lookupPublished": true,
 }
 
 func run(pass *framework.Pass) error {
@@ -81,9 +102,11 @@ func run(pass *framework.Pass) error {
 }
 
 // checkMethod reports the first direct shared-state access that precedes
-// every barrier call in the method body (one diagnostic per method).
+// every barrier and published-snapshot accessor call in the method body
+// (one diagnostic per method).
 func checkMethod(pass *framework.Pass, model *guards.Model, fd *ast.FuncDecl) {
-	// Earliest barrier call position, if any.
+	// Earliest sanctioned call position — a barrier or a publication
+	// accessor — if any.
 	barrierPos := token.Pos(0)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -91,7 +114,7 @@ func checkMethod(pass *framework.Pass, model *guards.Model, fd *ast.FuncDecl) {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !barrierNames[sel.Sel.Name] {
+		if !ok || (!barrierNames[sel.Sel.Name] && !accessorNames[sel.Sel.Name]) {
 			return true
 		}
 		if barrierPos == 0 || call.Pos() < barrierPos {
@@ -125,7 +148,7 @@ func checkMethod(pass *framework.Pass, model *guards.Model, fd *ast.FuncDecl) {
 	})
 	if first != nil {
 		pass.Reportf(first.Sel.Pos(),
-			"exported method %s.%s accesses %s before calling readBarrier/snapshotBarrier",
+			"exported method %s.%s accesses %s before calling readBarrier/snapshotBarrier or a published-snapshot accessor",
 			receiverNamed(fd, pass.TypesInfo).Obj().Name(), fd.Name.Name, model.Label[firstFld])
 	}
 }

@@ -12,11 +12,19 @@ type write struct {
 	val float64
 }
 
+// index is an atomically published copy-on-write key index (the PR-10
+// wait-free read shape): writers republish it on commit, readers load it
+// through the publishedIndex accessor.
+type index struct {
+	keys []string
+}
+
 type Store struct {
 	mu      sync.Mutex
 	entries map[string]float64
 	pending []write // buffered writes drained by readBarrier
 	version atomic.Uint64
+	index   atomic.Pointer[index]
 }
 
 func (s *Store) readBarrier() {
@@ -30,6 +38,26 @@ func (s *Store) readBarrier() {
 }
 
 func (s *Store) snapshotBarrier() { s.readBarrier() }
+
+// publishedIndex is the publication accessor: one atomic load of the
+// immutable published index.
+func (s *Store) publishedIndex() *index {
+	return s.index.Load()
+}
+
+// lookupPublished resolves a key through the published index.
+func (s *Store) lookupPublished(k string) bool {
+	ix := s.publishedIndex()
+	if ix == nil {
+		return false
+	}
+	for _, key := range ix.keys {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}
 
 // Get drains the buffers before reading: clean.
 func (s *Store) Get(k string) float64 {
@@ -80,6 +108,29 @@ func (s *Store) Version() uint64 {
 func (s *Store) VersionFresh() uint64 {
 	s.readBarrier()
 	return s.version.Load()
+}
+
+// Has reads wait-free through the publication accessor: clean without any
+// barrier (the Stale-read shape).
+func (s *Store) Has(k string) bool {
+	return s.lookupPublished(k)
+}
+
+// KeysPublished enters through the accessor before touching other state:
+// equally clean — everything it then reads is sequenced after the
+// accessor's atomic load.
+func (s *Store) KeysPublished() ([]string, uint64) {
+	ix := s.publishedIndex()
+	if ix == nil {
+		return nil, 0
+	}
+	return ix.keys, s.version.Load()
+}
+
+// RawIndex reaches around the accessor and loads the atomic pointer field
+// directly: flagged — the accessor is the only sanctioned wait-free entry.
+func (s *Store) RawIndex() *index {
+	return s.index.Load() // want `Store\.RawIndex accesses Store\.index before calling readBarrier`
 }
 
 // Total delegates to Get: only direct state access triggers the check.

@@ -280,6 +280,12 @@ func selectionKey(sel *Selection) string {
 // mutation racing the resolve then leaves the result stamped with the older
 // version, which the next lookup — seeing the newer version — misses, so a
 // torn read can be served once but never cached as current.
+//
+// On wait-free stores (PR 10) KeyVersion is answered from the key's
+// published snapshot stamp, and the read that resolves the selection comes
+// from the same publication stream: a version observed here is never newer
+// than the summary the resolve then reads, which preserves the stamping
+// argument above without any locking on either side.
 func (e *Engine) cacheKey(sel *Selection) string {
 	if e.cache == nil {
 		return ""

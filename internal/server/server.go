@@ -585,6 +585,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"solve_cache":   s.engine.CacheStats(),
 		"ingest_buffer": ingestBuffer,
+		"read_path":     s.store.ReadStats(),
 		"wal":           walSection,
 	})
 }

@@ -488,8 +488,11 @@ func (h *Local) mergeAccsLocked() {
 				}
 			}
 			st.count += ka.acc.all.Count()
+			s.obsGauge.Add(ka.acc.all.Count())
 			e.version = st.version.Add(1)
+			s.publishEntryLocked(e)
 		}
+		s.publishIndexLocked(st)
 		st.mu.Unlock()
 	}
 	// Reset accumulators for reuse; drop the map wholesale past the

@@ -57,13 +57,18 @@ func TestBufferedIngestLinearizability(t *testing.T) {
 
 	// Readers: each query brackets its read with the applied counter and
 	// asserts the observed count matches the model at some prefix inside
-	// the bracket. Version reads assert global monotonicity.
+	// the bracket. Version reads assert global monotonicity, and per-key
+	// version reads — served from published snapshot stamps on the
+	// wait-free path (PR 10) — must never regress either: a reader racing
+	// flushes may observe a snapshot lagging the newest commit, but never
+	// one older than a snapshot it already observed.
 	readerErr := make(chan error, 4)
 	for r := 0; r < 4; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			var lastVersion uint64
+			var lastKeyVer [3]uint64
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
@@ -91,6 +96,14 @@ func TestBufferedIngestLinearizability(t *testing.T) {
 					return
 				} else {
 					lastVersion = v
+				}
+				if kv, present := s.KeyVersion(keys[ki]); present {
+					if kv < lastKeyVer[ki] {
+						readerErr <- fmt.Errorf("reader %d: KeyVersion(%s) regressed %d -> %d",
+							r, keys[ki], lastKeyVer[ki], kv)
+						return
+					}
+					lastKeyVer[ki] = kv
 				}
 			}
 		}(r)

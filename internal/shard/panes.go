@@ -359,8 +359,13 @@ func (s *Store) Panes(key string) (*PaneSeries, error) {
 // PanesRange is Panes restricted to the absolute pane range [start, end),
 // clipped to the retained ring — a trailing-window read of n panes clones
 // and merges O(n) sketches instead of O(retention).
+//
+// Windowed reads stay locked on every store, wait-free or not: they advance
+// pane rings in place (expiry is driven by reads as well as writes), which
+// is a mutation and cannot run against a shared immutable snapshot.
 func (s *Store) PanesRange(key string, start, end int64) (*PaneSeries, error) {
 	s.readBarrier()
+	s.lockReads.Add(1)
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -404,9 +409,11 @@ func (s *Store) PanesPrefix(ctx context.Context, prefix string) (*PaneSeries, er
 }
 
 // PanesRangePrefix is PanesPrefix restricted to the absolute pane range
-// [start, end), clipped to the retained ring.
+// [start, end), clipped to the retained ring. Locked on every store — see
+// PanesRange.
 func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end int64) (*PaneSeries, error) {
 	s.readBarrier()
+	s.lockReads.Add(1)
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -463,6 +470,7 @@ func (s *Store) PanesRangePrefix(ctx context.Context, prefix string, start, end 
 // expiry.
 func (s *Store) Retained(key string) (sketch.Serving, error) {
 	s.readBarrier()
+	s.lockReads.Add(1)
 	if s.paneWidth <= 0 {
 		return nil, ErrNoWindow
 	}
@@ -484,6 +492,7 @@ func (s *Store) Retained(key string) (sketch.Serving, error) {
 // the merged summary and the number of keys merged.
 func (s *Store) RetainedPrefix(ctx context.Context, prefix string) (sketch.Serving, int, error) {
 	s.readBarrier()
+	s.lockReads.Add(1)
 	if s.paneWidth <= 0 {
 		return nil, 0, ErrNoWindow
 	}

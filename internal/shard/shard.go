@@ -48,11 +48,18 @@ type Observation struct {
 // entry recorded before a restore — or before a delete/re-create of the
 // same key — can never falsely match.
 //
+// pub is the entry's published read snapshot (see published.go): an
+// immutable, version-stamped clone of the all-time summary, republished on
+// every commit while the stripe lock is still held. It is nil on stores
+// that serve locked reads. The guardedby directive covers the mutable
+// fields; pub is its own synchronization and is read lock-free.
+//
 //lint:guardedby stripe.mu
 type entry struct {
 	all     sketch.Serving
 	ring    *paneRing
 	version uint64
+	pub     atomic.Pointer[published]
 }
 
 // stripe is one lock-striped partition of the key space. The padding keeps
@@ -63,12 +70,20 @@ type entry struct {
 // stripe lock on every mutation (Add, batch flush, Delete, Reset, Restore)
 // but readable lock-free, so version-vector reads for cache keys never
 // contend with ingest.
+//
+// index is the stripe's published key index (see published.go): a sorted,
+// immutable (keys, entries) snapshot rebuilt copy-on-write — while the
+// stripe lock is held, marked by indexStale — whenever the key set changes,
+// and read lock-free by the wait-free scan paths. It stays nil on stores
+// that serve locked reads.
 type stripe struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-	count   float64       // observations ingested into this stripe
-	version atomic.Uint64 // monotonic mutation counter
-	_       [32]byte      // mutex(8) + map(8) + count(8) + version(8) + 32 = one 64-byte line
+	mu         sync.Mutex
+	entries    map[string]*entry
+	count      float64       // observations ingested into this stripe
+	version    atomic.Uint64 // monotonic mutation counter
+	index      atomic.Pointer[stripeIndex]
+	indexStale bool     // key set changed; republish before unlocking
+	_          [23]byte // mutex(8) + map(8) + count(8) + version(8) + index(8) + bool(1) + 23 = one 64-byte line
 }
 
 // Store is a sharded map from string keys to quantile summaries of one
@@ -94,6 +109,25 @@ type Store struct {
 	// none (see SetJournal). Commit paths log through it before applying;
 	// plain Add/AddAt and flusher-internal merges never do.
 	journal Journal
+
+	// waitFree reports whether commits publish immutable entry snapshots
+	// and key indexes for wait-free reads (see published.go): true when the
+	// backend has Caps.FastClone and the store was not built
+	// WithLockedReads. Fixed at construction.
+	waitFree bool
+
+	// keyGauge and obsGauge mirror the per-stripe key and observation
+	// totals, maintained under the stripe locks but read lock-free, so
+	// Len/TotalCount (a /v1/stats scrape) never sweep the stripes. The
+	// locked sweep survives as AuditCounts, the test-only cross-check.
+	keyGauge atomic.Int64
+	obsGauge atomicFloat64
+
+	// Read-path counters (see ReadStats).
+	pubReads  atomic.Uint64
+	lockReads atomic.Uint64
+	pubCount  atomic.Uint64
+	rebuilds  atomic.Uint64
 }
 
 // Journal is the durability seam between ingest and a write-ahead log
@@ -113,13 +147,14 @@ type Journal interface {
 type Option func(*storeConfig)
 
 type storeConfig struct {
-	k         int
-	backend   sketch.Backend
-	shards    int
-	solver    maxent.Options
-	paneWidth time.Duration
-	retention int
-	now       func() time.Time
+	k           int
+	backend     sketch.Backend
+	shards      int
+	solver      maxent.Options
+	paneWidth   time.Duration
+	retention   int
+	now         func() time.Time
+	lockedReads bool
 }
 
 // WithShards sets the number of lock stripes (rounded up to a power of two,
@@ -167,6 +202,17 @@ func WithClock(now func() time.Time) Option {
 	return func(c *storeConfig) { c.now = now }
 }
 
+// WithLockedReads disables wait-free published reads: the store skips
+// snapshot publication entirely and every read takes stripe locks, as all
+// reads did before publication existed. It is the escape hatch for
+// write-dominated deployments that would rather not pay the O(k)
+// clone-on-commit, and the locked baseline the read-under-write benchmarks
+// and equivalence suites compare against. Backends without
+// sketch.Caps.FastClone serve locked reads regardless.
+func WithLockedReads() Option {
+	return func(c *storeConfig) { c.lockedReads = true }
+}
+
 // New returns an empty store. Like core.New, it panics if the configured
 // order is outside [1, core.MaxK] — failing at construction rather than on
 // the first ingested observation.
@@ -200,12 +246,13 @@ func New(opts ...Option) *Store {
 		n <<= 1
 	}
 	s := &Store{
-		k:       cfg.k,
-		backend: cfg.backend,
-		mask:    uint64(n - 1),
-		stripes: make([]stripe, n),
-		solver:  cfg.solver,
-		now:     cfg.now,
+		k:        cfg.k,
+		backend:  cfg.backend,
+		mask:     uint64(n - 1),
+		stripes:  make([]stripe, n),
+		solver:   cfg.solver,
+		now:      cfg.now,
+		waitFree: cfg.backend.Caps.FastClone && !cfg.lockedReads,
 	}
 	if cfg.paneWidth > 0 {
 		s.paneWidth = int64(cfg.paneWidth)
@@ -275,8 +322,10 @@ func (s *Store) stripeFor(key string) *stripe {
 	return &s.stripes[fnv64a(key)&s.mask]
 }
 
-// entryLocked returns the entry for key, creating it if absent. The stripe
-// lock must be held.
+// entryLocked returns the entry for key, creating it if absent. Creation
+// marks the stripe's published index stale and bumps the key gauge; the
+// caller's commit path republishes the index before releasing the lock.
+// The stripe lock must be held.
 func (s *Store) entryLocked(st *stripe, key string) *entry {
 	e, ok := st.entries[key]
 	if !ok {
@@ -285,6 +334,8 @@ func (s *Store) entryLocked(st *stripe, key string) *entry {
 			e.ring = s.newPaneRing()
 		}
 		st.entries[key] = e
+		st.indexStale = true
+		s.keyGauge.Add(1)
 	}
 	return e
 }
@@ -327,9 +378,13 @@ func (s *Store) AddAt(key string, x float64, at time.Time) {
 	}
 	st := s.stripeFor(key)
 	st.mu.Lock()
-	s.addLocked(st, s.entryLocked(st, key), x, at, nowPane)
+	e := s.entryLocked(st, key)
+	s.addLocked(st, e, x, at, nowPane)
 	//lint:allow readbarrier AddAt is the write path the barrier drains into
 	st.count++
+	s.obsGauge.Add(1)
+	s.publishEntryLocked(e)
+	s.publishIndexLocked(st)
 	st.mu.Unlock()
 }
 
@@ -343,6 +398,7 @@ type Batch struct {
 	touched []int
 	n       int
 	flat    []Observation // Commit's journal-encode scratch, reused
+	pub     []*entry      // Flush's per-stripe publish scratch, reused
 }
 
 // NewBatch returns an empty reusable batch bound to the store.
@@ -390,9 +446,31 @@ func (b *Batch) Flush() int {
 			if at.IsZero() {
 				at = now
 			}
-			b.store.addLocked(st, b.store.entryLocked(st, o.Key), o.Value, at, nowPane)
+			e := b.store.entryLocked(st, o.Key)
+			if b.store.waitFree {
+				// First touch this flush ⇔ the entry is still "clean":
+				// every entry is published at each commit, so at lock
+				// acquisition pub.version == e.version (or pub is nil for
+				// a just-created entry), and the first addLocked below
+				// breaks the equality for the rest of the bucket. One
+				// atomic load per observation replaces a per-observation
+				// map lookup in a separate publish pass; duplicates from
+				// repeated just-created keys are no-ops at publish time.
+				if p := e.pub.Load(); p == nil || p.version == e.version {
+					b.pub = append(b.pub, e)
+				}
+			}
+			b.store.addLocked(st, e, o.Value, at, nowPane)
 		}
 		st.count += float64(len(b.buckets[i]))
+		b.store.obsGauge.Add(float64(len(b.buckets[i])))
+		// Publish once per touched entry, then the key index, all before
+		// the stripe lock releases.
+		for _, e := range b.pub {
+			b.store.publishEntryLocked(e)
+		}
+		b.pub = b.pub[:0]
+		b.store.publishIndexLocked(st)
 		st.mu.Unlock()
 		clear(b.buckets[i]) // release key strings before truncating
 		b.buckets[i] = b.buckets[i][:0]
@@ -468,9 +546,24 @@ func (b *Batch) Discard() {
 	b.n = 0
 }
 
-// Summary returns an independent clone of the all-time summary for key.
+// Summary returns an independent clone of the all-time summary for key. On
+// wait-free stores (see published.go) it clones the key's published
+// snapshot without taking any lock; otherwise it clones under the stripe
+// lock.
 func (s *Store) Summary(key string) (sketch.Serving, bool) {
 	s.readBarrier()
+	if s.waitFree {
+		p, found := s.lookupPublished(key)
+		if !found {
+			s.pubReads.Add(1)
+			return nil, false
+		}
+		if p != nil {
+			s.pubReads.Add(1)
+			return p.sum.Clone(), true
+		}
+	}
+	s.lockReads.Add(1)
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	e, ok := st.entries[key]
@@ -498,6 +591,18 @@ func (s *Store) Sketch(key string) (*core.Sketch, bool) {
 // is absent).
 func (s *Store) Count(key string) float64 {
 	s.readBarrier()
+	if s.waitFree {
+		p, found := s.lookupPublished(key)
+		if !found {
+			s.pubReads.Add(1)
+			return 0
+		}
+		if p != nil {
+			s.pubReads.Add(1)
+			return p.sum.Count()
+		}
+	}
+	s.lockReads.Add(1)
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -507,36 +612,31 @@ func (s *Store) Count(key string) float64 {
 	return 0
 }
 
-// Len returns the number of distinct keys.
+// Len returns the number of distinct keys — one atomic gauge load, no
+// stripe locks. The gauge is maintained under the stripe locks on every
+// create/delete/reset/restore; AuditCounts is the locked sweep the test
+// suites cross-check it against.
 func (s *Store) Len() int {
 	s.readBarrier()
-	n := 0
-	for i := range s.stripes {
-		st := &s.stripes[i]
-		st.mu.Lock()
-		n += len(st.entries)
-		st.mu.Unlock()
-	}
-	return n
+	return int(s.keyGauge.Load())
 }
 
-// TotalCount returns the total number of observations ingested.
+// TotalCount returns the total number of observations ingested — one
+// atomic gauge load, no stripe locks (see Len).
 func (s *Store) TotalCount() float64 {
 	s.readBarrier()
-	total := 0.0
-	for i := range s.stripes {
-		st := &s.stripes[i]
-		st.mu.Lock()
-		total += st.count
-		st.mu.Unlock()
-	}
-	return total
+	return s.obsGauge.Load()
 }
 
 // Keys returns every key with the given prefix, sorted. An empty prefix
-// matches all keys.
+// matches all keys. On wait-free stores the scan walks the published
+// per-stripe key indexes without locking.
 func (s *Store) Keys(prefix string) []string {
 	s.readBarrier()
+	if s.waitFree {
+		return s.keysPublished(prefix)
+	}
+	s.lockReads.Add(1)
 	var keys []string
 	for i := range s.stripes {
 		st := &s.stripes[i]
@@ -570,6 +670,10 @@ func (s *Store) Match(prefix string) []Keyed {
 // gives up, so a query over a huge store cannot outlive its request.
 func (s *Store) MatchContext(ctx context.Context, prefix string) ([]Keyed, error) {
 	s.readBarrier()
+	if s.waitFree {
+		return s.matchPublished(ctx, prefix)
+	}
+	s.lockReads.Add(1)
 	var out []Keyed
 	for i := range s.stripes {
 		if err := ctx.Err(); err != nil {
@@ -607,6 +711,10 @@ func (s *Store) MergePrefix(prefix string) (sketch.Serving, int, error) {
 // repeated queries.
 func (s *Store) MergePrefixContext(ctx context.Context, prefix string) (sketch.Serving, int, error) {
 	s.readBarrier()
+	if s.waitFree {
+		return s.mergePrefixPublished(ctx, prefix)
+	}
+	s.lockReads.Add(1)
 	out := s.backend.New()
 	merges := 0
 	var keys []string
@@ -700,6 +808,10 @@ func (s *Store) Delete(key string) bool {
 		st.count -= e.all.Count()
 		delete(st.entries, key)
 		st.version.Add(1)
+		s.keyGauge.Add(-1)
+		s.obsGauge.Add(-e.all.Count())
+		st.indexStale = true
+		s.publishIndexLocked(st)
 	}
 	return ok
 }
@@ -710,9 +822,13 @@ func (s *Store) Reset() {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()
+		s.keyGauge.Add(int64(-len(st.entries)))
+		s.obsGauge.Add(-st.count)
 		st.entries = make(map[string]*entry)
 		st.count = 0
 		st.version.Add(1)
+		st.indexStale = true
+		s.publishIndexLocked(st)
 		st.mu.Unlock()
 	}
 }
@@ -738,6 +854,18 @@ func (s *Store) Version() uint64 {
 // deleted and re-created key always reports a strictly newer version.
 func (s *Store) KeyVersion(key string) (uint64, bool) {
 	s.readBarrier()
+	if s.waitFree {
+		p, found := s.lookupPublished(key)
+		if !found {
+			s.pubReads.Add(1)
+			return 0, false
+		}
+		if p != nil {
+			s.pubReads.Add(1)
+			return p.version, true
+		}
+	}
+	s.lockReads.Add(1)
 	st := s.stripeFor(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -1139,9 +1267,14 @@ func (s *Store) Restore(r io.Reader) error {
 		st.version.Add(1)
 		for _, e := range entries {
 			e.version = st.version.Add(1)
+			s.publishEntryLocked(e)
 		}
+		s.keyGauge.Add(int64(len(entries) - len(st.entries)))
+		s.obsGauge.Add(count - st.count)
 		st.entries = entries
 		st.count = count
+		st.indexStale = true
+		s.publishIndexLocked(st)
 		st.mu.Unlock()
 	}
 	return nil

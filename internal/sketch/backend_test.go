@@ -67,6 +67,14 @@ func TestBackendCaps(t *testing.T) {
 		if b.Caps.ExactMerge != moments {
 			t.Errorf("%s: Caps.ExactMerge=%v, want %v", b.Name, b.Caps.ExactMerge, moments)
 		}
+		// FastClone gates wait-free published reads: only the moments
+		// vector copy is O(k) with pure-value read semantics. A reservoir
+		// or centroid backend advertising it would pay a proportional-to-
+		// data clone on every single write commit, and a lazily compacting
+		// one would mutate shared published state on read.
+		if b.Caps.FastClone != moments {
+			t.Errorf("%s: Caps.FastClone=%v, want %v", b.Name, b.Caps.FastClone, moments)
+		}
 		if !b.Caps.Snapshot {
 			t.Errorf("%s: expected snapshot capability", b.Name)
 		}
